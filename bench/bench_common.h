@@ -1,0 +1,60 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Conventions:
+//  * every binary prints one table per paper figure/table, with the same
+//    rows/series the paper reports;
+//  * REPRO_SCALE (float env var, default 1) multiplies the default input
+//    sizes, so the same binaries run at laptop scale and at paper scale;
+//  * REPRO_REPEATS (int env var, default 1) repeats timed sections and
+//    reports the minimum;
+//  * "self-speedup" is measured by re-running the identical parallel code
+//    under the sequential backend (1 worker), as the paper does with
+//    1-core runs.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "parallel/api.h"
+
+namespace bench {
+
+inline double scale() {
+  if (const char* s = std::getenv("REPRO_SCALE")) return std::atof(s);
+  return 1.0;
+}
+
+inline size_t scaled(size_t n) { return static_cast<size_t>(static_cast<double>(n) * scale()); }
+
+inline int repeats() {
+  if (const char* s = std::getenv("REPRO_REPEATS")) return std::max(1, std::atoi(s));
+  return 1;
+}
+
+// Wall-clock seconds of f(), min over repeats().
+template <typename F>
+double time_s(F f) {
+  double best = 1e100;
+  for (int r = 0; r < repeats(); ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    f();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+inline void banner(const char* what, const char* paper_ref) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("backend=%s workers=%u scale=%.3g repeats=%d\n",
+              std::string(pp::backend_name(pp::get_backend())).c_str(), pp::num_workers(),
+              scale(), repeats());
+  std::printf("=============================================================\n");
+}
+
+}  // namespace bench

@@ -1,0 +1,16 @@
+// Fig. 8 + Table 2 (top): LIS on the *segment* pattern — k roughly
+// decreasing runs with increasing bases, so the LIS size is ~k.
+//
+// Paper setup: n = 1e8 on 96 cores; parallel wins up to output size ~300,
+// then the O(log^2 n) work overhead dominates; average wake-ups 1.7-3.9.
+#include "lis_bench.h"
+
+int main() {
+  bench::banner("LIS, segment pattern: Table-2 columns vs output size",
+                "Fig. 8 + Table 2, Sec. 6.4");
+  size_t n = bench::scaled(500'000);
+  bench::lis_table(
+      "segment", [](size_t nn, size_t k) { return pp::lis_segment_pattern(nn, k, 19); }, n,
+      {3, 10, 30, 100, 300, 1000, 3000});
+  return 0;
+}

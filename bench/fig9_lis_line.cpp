@@ -1,0 +1,38 @@
+// Fig. 9 + Table 2 (bottom): LIS on the *line* pattern — a_i = t*i + noise;
+// the slope/noise ratio controls the LIS size.
+//
+// Paper setup: n = 1e8; same columns as the segment pattern; wake-ups up to
+// ~8.4 (the line pattern defeats the rightmost heuristic more often).
+#include <cmath>
+
+#include "lis_bench.h"
+
+namespace {
+// Choose line parameters for an expected LIS of ~target ("changing the
+// slope t and the distribution of b", Sec. 6.4). Targets below ~2*sqrt(n)
+// need quantized noise (q distinct levels bound the LIS by ~q); larger
+// targets use the slope: with t*n = m*R the sequence decomposes into ~m
+// value-separated windows and LIS ~ 2*sqrt(m*n).
+std::vector<int64_t> line_for_target(size_t n, size_t target) {
+  constexpr int64_t R = 4'000'000;
+  double sq = 2.0 * std::sqrt(static_cast<double>(n));
+  if (static_cast<double>(target) < 0.6 * sq) {
+    // q-level quantized noise, zero slope: LIS == q whp
+    int64_t q = static_cast<int64_t>(target);
+    auto raw = pp::lis_line_pattern(n, 0, R, 23);
+    for (auto& x : raw) x = (x * q / R) * (R / q);
+    return raw;
+  }
+  double m = std::max(0.0, static_cast<double>(target) * target / (4.0 * n) - 1.0);
+  int64_t slope = static_cast<int64_t>(m * R / static_cast<double>(n));
+  return pp::lis_line_pattern(n, slope, R, 23);
+}
+}  // namespace
+
+int main() {
+  bench::banner("LIS, line pattern: Table-2 columns vs output size",
+                "Fig. 9 + Table 2, Sec. 6.4");
+  size_t n = bench::scaled(500'000);
+  bench::lis_table("line", line_for_target, n, {3, 10, 30, 100, 300, 1000, 3000});
+  return 0;
+}

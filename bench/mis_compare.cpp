@@ -1,0 +1,73 @@
+// MIS: the Sec. 5.3 claim made measurable. The TAS-tree algorithm does
+// O(m) work with O(log n log dmax) span; the round-based baseline does
+// O(rounds * m) readiness work. We report times, the baseline's round
+// count (~log n), and the TAS wake-chain depth (the span proxy), on the
+// three graph families.
+#include <cmath>
+#include <cstdio>
+
+#include "algos/coloring.h"
+#include "algos/matching.h"
+#include "algos/mis.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "parallel/random.h"
+
+int main() {
+  bench::banner("Greedy MIS: sequential vs round-based vs TAS-tree (Algorithm 4)",
+                "Sec. 5.3 claim (work-efficiency + span)");
+  std::printf("%-12s %10s %12s | %8s %10s %10s | %8s %10s %12s\n", "graph", "n", "m", "seq(s)",
+              "rounds(s)", "tas(s)", "#rounds", "wakedepth", "log n log d");
+  struct G {
+    const char* name;
+    pp::graph g;
+  } graphs[] = {
+      {"rmat", pp::rmat_graph(static_cast<uint32_t>(bench::scaled(1u << 17)),
+                              bench::scaled(1u << 21), 1)},
+      {"random", pp::random_graph(static_cast<uint32_t>(bench::scaled(1u << 17)),
+                                  bench::scaled(1u << 21), 2)},
+      {"grid", pp::grid_graph(static_cast<uint32_t>(bench::scaled(500)),
+                              static_cast<uint32_t>(bench::scaled(500)))},
+  };
+  for (auto& [name, g] : graphs) {
+    auto prio = pp::random_permutation(g.num_vertices(), 42);
+    pp::mis_result seq, rounds, tas;
+    double ts = bench::time_s([&] { seq = pp::mis_sequential(g, prio); });
+    double tr = bench::time_s([&] { rounds = pp::mis_rounds(g, prio); });
+    double tt = bench::time_s([&] { tas = pp::mis_tas(g, prio); });
+    if (rounds.in_mis != seq.in_mis || tas.in_mis != seq.in_mis) {
+      std::printf("MIS MISMATCH!\n");
+      return 1;
+    }
+    double bound = std::log2(static_cast<double>(g.num_vertices())) *
+                   std::log2(static_cast<double>(g.max_degree()) + 2);
+    std::printf("%-12s %10u %12zu | %8.3f %10.3f %10.3f | %8zu %10zu %12.1f\n", name,
+                g.num_vertices(), g.num_edges(), ts, tr, tt, rounds.stats.rounds,
+                tas.stats.substeps, bound);
+  }
+  std::printf("\nShape check vs paper: all three agree on the MIS; the TAS version's\n"
+              "wake-chain depth tracks O(log n); round-based pays ~rounds x m work.\n");
+
+  // Same wake-up machinery for the other Sec. 5.3 greedy algorithms.
+  std::printf("\n%-12s | %10s %10s %8s | %10s %10s %8s\n", "graph", "colseq(s)", "coltas(s)",
+              "#colors", "matseq(s)", "matpar(s)", "#rounds");
+  for (auto& [name, g] : graphs) {
+    auto prio = pp::random_permutation(g.num_vertices(), 43);
+    auto eprio = pp::random_permutation(g.num_edges(), 44);
+    pp::coloring_result cs, ct;
+    pp::matching_result ms, mp;
+    double tcs = bench::time_s([&] { cs = pp::coloring_sequential(g, prio); });
+    double tct = bench::time_s([&] { ct = pp::coloring_tas(g, prio); });
+    double tms = bench::time_s([&] { ms = pp::matching_sequential(g, eprio); });
+    double tmp = bench::time_s([&] { mp = pp::matching_rounds(g, eprio); });
+    if (ct.color != cs.color || mp.partner != ms.partner) {
+      std::printf("COLORING/MATCHING MISMATCH!\n");
+      return 1;
+    }
+    std::printf("%-12s | %10.3f %10.3f %8u | %10.3f %10.3f %8zu\n", name, tcs, tct,
+                ct.num_colors, tms, tmp, mp.stats.rounds);
+  }
+  std::printf("\nColoring and matching reuse the TAS/round wake-ups and return exactly\n"
+              "the sequential greedy results (Jones-Plassmann order).\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// The phase-parallel loop skeletons (Algorithm 1 of the paper).
+//
+// Algorithm 1 processes objects in rounds ordered by rank; what varies per
+// problem is how round i's frontier is obtained:
+//   * Type 1 (Sec. 4): a range query extracts the maximal ready set;
+//   * Type 2 (Sec. 5): finished objects wake up the objects pivoted on them.
+// run_type1 captures the common round structure and statistics; the Type-2
+// wake-up engine for dominance DPs lives in core/dominance_dp.h, and the
+// TAS-tree algorithms (Sec. 5.3) are fully asynchronous and do not loop in
+// rounds at all.
+#pragma once
+
+#include <vector>
+
+#include "core/stats.h"
+
+namespace pp {
+
+// extract() -> container of ready objects for this round (empty = done);
+// process(frontier) performs the round's work.
+template <typename Extract, typename Process>
+phase_stats run_type1(Extract extract, Process process) {
+  phase_stats stats;
+  while (true) {
+    auto frontier = extract();
+    if (frontier.empty()) break;
+    stats.record_frontier(frontier.size());
+    process(frontier);
+  }
+  return stats;
+}
+
+}  // namespace pp

@@ -1,0 +1,29 @@
+// Execution statistics for phase-parallel algorithms: the quantities the
+// paper reports (number of rounds == rank of the input, wake-up attempts
+// per object — Table 2 / Lemma 5.5) and that the tests/benches verify.
+#pragma once
+
+#include <cstddef>
+
+namespace pp {
+
+struct phase_stats {
+  size_t rounds = 0;             // parallel rounds executed (== rank(S) for exact ranks)
+  size_t processed = 0;          // objects processed in total
+  size_t wakeup_attempts = 0;    // Type-2: readiness checks performed
+  size_t max_frontier = 0;       // largest single-round frontier
+  size_t substeps = 0;           // inner iterations (e.g. Delta-stepping Bellman-Ford substeps)
+  size_t relaxations = 0;        // SSSP edge relaxations
+
+  void record_frontier(size_t size) {
+    rounds++;
+    processed += size;
+    if (size > max_frontier) max_frontier = size;
+  }
+
+  double avg_wakeups() const {
+    return processed == 0 ? 0.0 : static_cast<double>(wakeup_attempts) / static_cast<double>(processed);
+  }
+};
+
+}  // namespace pp

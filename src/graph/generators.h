@@ -1,0 +1,33 @@
+// Synthetic graph generators.
+//
+// The paper evaluates SSSP on Twitter/Friendster (proprietary-scale
+// downloads) and mentions road graphs from OpenStreetMap. Those inputs are
+// not available offline, so the benchmarks substitute synthetic graphs
+// exercising the same regimes (see DESIGN.md §3):
+//   * rmat_graph       — low-diameter, skewed-degree "social network" proxy;
+//   * random_graph     — Erdős–Rényi, low diameter, uniform degrees;
+//   * grid_graph       — 2D mesh, high diameter, small frontiers ("road").
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.h"
+
+namespace pp {
+
+// Erdős–Rényi-style: m undirected edges sampled uniformly (duplicates and
+// self-loops dropped, so the result has at most m edges).
+graph random_graph(vertex_t n, size_t m, uint64_t seed);
+
+// RMAT (Chakrabarti et al.) power-law generator with standard parameters
+// a=0.57 b=0.19 c=0.19: skewed degrees, small diameter.
+graph rmat_graph(vertex_t n, size_t m, uint64_t seed);
+
+// rows x cols 4-neighbor mesh.
+graph grid_graph(vertex_t rows, vertex_t cols);
+
+// Directed weighted view of an undirected graph: each direction gets the
+// same weight, uniform in [w_min, w_max].
+wgraph add_weights(const graph& g, uint32_t w_min, uint32_t w_max, uint64_t seed);
+
+}  // namespace pp

@@ -1,0 +1,139 @@
+// Public fork-join API: pp::par_do and pp::parallel_for.
+//
+// These are the only two control primitives the rest of the library uses;
+// everything else (reduce, scan, sort, the phase-parallel runners) is built
+// on top of them, mirroring the binary-forking model of the paper (Sec. 2).
+#pragma once
+
+#include <omp.h>
+
+#include <cstddef>
+#include <utility>
+
+#include "parallel/backend.h"
+#include "parallel/scheduler.h"
+
+namespace pp {
+
+inline unsigned num_workers() {
+  switch (get_backend()) {
+    case backend_kind::sequential:
+      return 1;
+    case backend_kind::openmp:
+      return static_cast<unsigned>(omp_get_max_threads());
+    case backend_kind::native:
+    default:
+      return detail::work_stealing_pool::instance().num_workers();
+  }
+}
+
+namespace detail {
+
+template <typename L, typename R>
+void par_do_native(L&& left, R&& right) {
+  auto& pool = work_stealing_pool::instance();
+  fn_job<R> rjob(right);
+  pool.push(&rjob);
+  left();
+  if (pool.try_pop_specific(&rjob)) {
+    right();
+  } else {
+    pool.wait_for(rjob);
+  }
+}
+
+template <typename L, typename R>
+void par_do_omp_inner(L&& left, R&& right) {
+#pragma omp task shared(left) default(shared)
+  left();
+  right();
+#pragma omp taskwait
+}
+
+template <typename L, typename R>
+void par_do_omp(L&& left, R&& right) {
+  if (omp_in_parallel()) {
+    par_do_omp_inner(left, right);
+  } else {
+#pragma omp parallel default(shared)
+#pragma omp single nowait
+    par_do_omp_inner(left, right);
+  }
+}
+
+}  // namespace detail
+
+// Run `left` and `right`, potentially in parallel; returns when both are
+// done (a binary fork).
+template <typename L, typename R>
+void par_do(L&& left, R&& right) {
+  switch (get_backend()) {
+    case backend_kind::sequential:
+      left();
+      right();
+      break;
+    case backend_kind::openmp:
+      detail::par_do_omp(std::forward<L>(left), std::forward<R>(right));
+      break;
+    case backend_kind::native:
+    default:
+      detail::par_do_native(std::forward<L>(left), std::forward<R>(right));
+      break;
+  }
+}
+
+namespace detail {
+
+// Grain heuristic: enough sub-ranges to balance (8 per worker) but never
+// absurdly small pieces. A parallel for-loop has O(log n) span from the
+// recursive splitting, matching the model in the paper.
+inline size_t auto_grain(size_t n, unsigned workers) {
+  size_t pieces = static_cast<size_t>(workers) * 8;
+  size_t g = n / (pieces == 0 ? 1 : pieces);
+  if (g < 1) g = 1;
+  return g;
+}
+
+template <typename F>
+void parallel_for_rec(size_t lo, size_t hi, F& f, size_t grain) {
+  if (hi - lo <= grain) {
+    for (size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  par_do([&] { parallel_for_rec(lo, mid, f, grain); },
+         [&] { parallel_for_rec(mid, hi, f, grain); });
+}
+
+}  // namespace detail
+
+// Apply f(i) for i in [lo, hi). `grain` = 0 lets the library pick.
+template <typename F>
+void parallel_for(size_t lo, size_t hi, F f, size_t grain = 0) {
+  if (hi <= lo) return;
+  size_t n = hi - lo;
+  switch (get_backend()) {
+    case backend_kind::sequential: {
+      for (size_t i = lo; i < hi; ++i) f(i);
+      return;
+    }
+    case backend_kind::openmp: {
+      if (omp_in_parallel()) {
+        // Nested: fall back to a serial loop rather than oversubscribing.
+        for (size_t i = lo; i < hi; ++i) f(i);
+      } else {
+#pragma omp parallel for schedule(guided)
+        for (size_t i = lo; i < hi; ++i) f(i);
+      }
+      return;
+    }
+    case backend_kind::native:
+    default: {
+      if (grain == 0) grain = detail::auto_grain(n, num_workers());
+      detail::parallel_for_rec(lo, hi, f, grain);
+      return;
+    }
+  }
+}
+
+}  // namespace pp

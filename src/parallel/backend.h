@@ -1,0 +1,58 @@
+// Runtime-selectable parallel backend.
+//
+// The paper's computational model is the binary-forking model (Sec. 2): a
+// thread may fork two children and is suspended until both finish. The
+// native backend implements this directly with a work-stealing scheduler
+// (scheduler.h). The OpenMP backend maps forks onto OpenMP tasks, and the
+// sequential backend runs everything serially (useful for debugging and as
+// the 1-thread baseline when measuring self-speedup).
+#pragma once
+
+#include <atomic>
+#include <string_view>
+
+namespace pp {
+
+enum class backend_kind {
+  native,      // built-in work-stealing scheduler (default)
+  openmp,      // OpenMP tasks / parallel-for
+  sequential,  // serial execution of every fork
+};
+
+namespace detail {
+inline std::atomic<backend_kind>& backend_flag() {
+  static std::atomic<backend_kind> flag{backend_kind::native};
+  return flag;
+}
+}  // namespace detail
+
+inline backend_kind get_backend() {
+  return detail::backend_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_backend(backend_kind b) {
+  detail::backend_flag().store(b, std::memory_order_relaxed);
+}
+
+inline std::string_view backend_name(backend_kind b) {
+  switch (b) {
+    case backend_kind::native: return "native";
+    case backend_kind::openmp: return "openmp";
+    case backend_kind::sequential: return "sequential";
+  }
+  return "unknown";
+}
+
+// RAII guard for temporarily switching backend (used by tests/benches).
+class scoped_backend {
+ public:
+  explicit scoped_backend(backend_kind b) : saved_(get_backend()) { set_backend(b); }
+  ~scoped_backend() { set_backend(saved_); }
+  scoped_backend(const scoped_backend&) = delete;
+  scoped_backend& operator=(const scoped_backend&) = delete;
+
+ private:
+  backend_kind saved_;
+};
+
+}  // namespace pp

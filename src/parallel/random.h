@@ -1,0 +1,69 @@
+// Deterministic, splittable randomness for parallel algorithms.
+//
+// All random choices in the library flow through stateless SplitMix64-style
+// hashing of (seed, index). This gives the reproducibility property used by
+// the tests: the same seed produces the same priorities / weights / pivots
+// regardless of worker count or backend.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/primitives.h"
+#include "parallel/sort.h"
+
+namespace pp {
+
+// SplitMix64 finalizer: a high-quality 64-bit mixer (Steele et al.).
+inline uint64_t hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// A stateless random stream: draw i-th value of stream `seed` in O(1).
+class random_stream {
+ public:
+  explicit random_stream(uint64_t seed = 0) : seed_(seed) {}
+
+  uint64_t ith(uint64_t i) const { return hash64(seed_ ^ hash64(i + 1)); }
+
+  // Uniform in [0, bound) by 128-bit multiply (Lemire reduction, modulo
+  // bias negligible for bound << 2^64).
+  uint64_t ith_bounded(uint64_t i, uint64_t bound) const {
+    return static_cast<uint64_t>((static_cast<__uint128_t>(ith(i)) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t ith_range(uint64_t i, int64_t lo, int64_t hi) const {
+    return lo + static_cast<int64_t>(ith_bounded(i, static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double ith_double(uint64_t i) const {
+    return static_cast<double>(ith(i) >> 11) * 0x1.0p-53;
+  }
+
+  // Derive an independent child stream.
+  random_stream fork(uint64_t salt) const { return random_stream(hash64(seed_ ^ (salt + 0x5851f42d4c957f2dull))); }
+
+ private:
+  uint64_t seed_;
+};
+
+// A random permutation of [0, n): indices sorted by a random key. O(n log n)
+// work — fine for our scales, and fully deterministic per seed. Each key is
+// (hash, index) so duplicate hashes cannot make the result depend on sort
+// internals.
+inline std::vector<uint32_t> random_permutation(size_t n, uint64_t seed) {
+  random_stream rs(seed);
+  std::vector<uint64_t> keys = tabulate<uint64_t>(n, [&](size_t i) { return rs.ith(i); });
+  return sort_indices(n, [&](uint32_t a, uint32_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;
+  });
+}
+
+}  // namespace pp

@@ -1,0 +1,145 @@
+#include "parallel/scheduler.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+namespace pp::detail {
+
+namespace {
+// Slot index of the calling thread within the singleton pool.
+thread_local int tl_worker_id = -1;
+
+unsigned configured_threads() {
+  if (const char* env = std::getenv("PP_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+}  // namespace
+
+work_stealing_pool::work_stealing_pool(unsigned nthreads) {
+  if (nthreads < 1) nthreads = 1;
+  deques_.reserve(nthreads);
+  for (unsigned i = 0; i < nthreads; ++i) deques_.push_back(std::make_unique<deque_slot>());
+  tl_worker_id = 0;  // constructing thread adopts slot 0
+  threads_.reserve(nthreads - 1);
+  for (unsigned i = 1; i < nthreads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+work_stealing_pool::~work_stealing_pool() {
+  shutdown_.store(true, std::memory_order_release);
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+int work_stealing_pool::worker_id() const { return tl_worker_id; }
+
+void work_stealing_pool::push(job* j) {
+  int id = tl_worker_id;
+  // Unknown threads (never the case in-library, but a user thread could
+  // call in) park their jobs on slot 0; worker 0 or a thief will run them.
+  unsigned slot = id < 0 ? 0 : static_cast<unsigned>(id);
+  {
+    std::lock_guard<std::mutex> lk(deques_[slot]->m);
+    deques_[slot]->q.push_back(j);
+  }
+  jobs_available_.fetch_add(1, std::memory_order_release);
+  sleep_cv_.notify_one();
+}
+
+bool work_stealing_pool::try_pop_specific(job* j) {
+  int id = tl_worker_id;
+  unsigned slot = id < 0 ? 0 : static_cast<unsigned>(id);
+  std::lock_guard<std::mutex> lk(deques_[slot]->m);
+  auto& q = deques_[slot]->q;
+  if (!q.empty() && q.back() == j) {
+    q.pop_back();
+    return true;
+  }
+  return false;
+}
+
+job* work_stealing_pool::try_pop_local(unsigned id) {
+  std::lock_guard<std::mutex> lk(deques_[id]->m);
+  auto& q = deques_[id]->q;
+  if (q.empty()) return nullptr;
+  job* j = q.back();
+  q.pop_back();
+  return j;
+}
+
+job* work_stealing_pool::try_steal(unsigned thief_id) {
+  unsigned n = num_workers();
+  if (n <= 1) return nullptr;
+  // Cheap per-thread LCG for victim selection; statistical quality is
+  // irrelevant here.
+  thread_local uint64_t rng = 0x9e3779b97f4a7c15ull ^ (thief_id * 0xbf58476d1ce4e5b9ull + 1);
+  for (unsigned attempt = 0; attempt < 2 * n; ++attempt) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    unsigned victim = static_cast<unsigned>((rng >> 33) % n);
+    if (victim == thief_id) continue;
+    std::unique_lock<std::mutex> lk(deques_[victim]->m, std::try_to_lock);
+    if (!lk.owns_lock()) continue;
+    auto& q = deques_[victim]->q;
+    if (q.empty()) continue;
+    job* j = q.front();  // steal oldest = shallowest = biggest subtree
+    q.pop_front();
+    return j;
+  }
+  return nullptr;
+}
+
+void work_stealing_pool::wait_for(job& j) {
+  int id = tl_worker_id;
+  unsigned self = id < 0 ? 0 : static_cast<unsigned>(id);
+  unsigned idle_spins = 0;
+  while (!j.done.load(std::memory_order_acquire)) {
+    job* other = try_pop_local(self);
+    if (other == nullptr) other = try_steal(self);
+    if (other != nullptr) {
+      other->execute();
+      idle_spins = 0;
+    } else if (++idle_spins < 64) {
+      std::this_thread::yield();
+    } else {
+      // The job we are waiting for is running on another worker and there
+      // is nothing to help with; back off briefly.
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+      idle_spins = 0;
+    }
+  }
+}
+
+void work_stealing_pool::worker_loop(unsigned id) {
+  tl_worker_id = static_cast<int>(id);
+  unsigned idle_spins = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    job* j = try_pop_local(id);
+    if (j == nullptr) j = try_steal(id);
+    if (j != nullptr) {
+      j->execute();
+      idle_spins = 0;
+      continue;
+    }
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::unique_lock<std::mutex> lk(sleep_m_);
+      sleep_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      idle_spins = 0;
+    }
+  }
+}
+
+work_stealing_pool& work_stealing_pool::instance() {
+  static work_stealing_pool pool(configured_threads());
+  return pool;
+}
+
+}  // namespace pp::detail

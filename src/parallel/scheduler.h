@@ -1,0 +1,105 @@
+// Work-stealing scheduler implementing the binary-forking model of the
+// paper (Sec. 2): a computation forks two child tasks; the forking thread
+// is suspended (here: it helps run other tasks) until both children finish.
+//
+// Design: one deque per worker. The calling thread that constructed the
+// pool (normally `main`) owns worker slot 0 and participates in the
+// computation whenever it reaches a join. Forked right-children are pushed
+// to the owner's deque (LIFO for the owner); idle workers steal from the
+// front (FIFO) of a random victim, which is the standard depth-first-work /
+// breadth-first-steal discipline of work stealing [Blumofe & Leiserson].
+//
+// The deques are mutex-protected. On the target machines for this
+// reproduction (a few cores) deque contention is negligible and the mutex
+// variant avoids the memory-ordering subtleties of the Chase-Lev deque; the
+// interface would admit a lock-free deque as a drop-in replacement.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pp::detail {
+
+// Type-erased unit of work. Fork-join jobs live on the forking thread's
+// stack; the scheduler only ever sees raw pointers. A job must not be
+// touched by its owner after `done` becomes true, and the job must not
+// access its own members after setting `done` (the owner may have already
+// destroyed it).
+struct job {
+  virtual void execute() = 0;
+  std::atomic<bool> done{false};
+
+ protected:
+  ~job() = default;
+};
+
+template <typename F>
+struct fn_job final : job {
+  explicit fn_job(F& f) : f_(&f) {}
+  void execute() override {
+    F* f = f_;
+    (*f)();
+    done.store(true, std::memory_order_release);
+    // `this` may be dead now; do not touch members.
+  }
+
+ private:
+  F* f_;
+};
+
+class work_stealing_pool {
+ public:
+  // The constructing thread becomes worker 0. `nthreads` includes it.
+  explicit work_stealing_pool(unsigned nthreads);
+  ~work_stealing_pool();
+
+  work_stealing_pool(const work_stealing_pool&) = delete;
+  work_stealing_pool& operator=(const work_stealing_pool&) = delete;
+
+  unsigned num_workers() const { return static_cast<unsigned>(deques_.size()); }
+
+  // Push a job onto the calling worker's deque. Must be called from a
+  // thread that owns a worker slot (worker 0 = pool constructor thread).
+  void push(job* j);
+
+  // Remove `j` from the calling worker's deque if it is still there.
+  // Returns true on success (the caller then runs it inline); false means a
+  // thief already took it.
+  bool try_pop_specific(job* j);
+
+  // Run other people's work until `j->done`. Called by the fork parent
+  // whose right child was stolen.
+  void wait_for(job& j);
+
+  // Worker-id of the calling thread, or -1 if the thread is unknown to the
+  // pool (e.g. a thread spawned by the user outside the scheduler).
+  int worker_id() const;
+
+  // Singleton used by pp::par_do. Size: PP_THREADS env var, else
+  // std::thread::hardware_concurrency().
+  static work_stealing_pool& instance();
+
+ private:
+  struct deque_slot {
+    std::mutex m;
+    std::deque<job*> q;
+  };
+
+  void worker_loop(unsigned id);
+  job* try_pop_local(unsigned id);
+  job* try_steal(unsigned thief_id);
+
+  std::vector<std::unique_ptr<deque_slot>> deques_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> jobs_available_{0};  // wake hint for sleeping workers
+  std::mutex sleep_m_;
+  std::condition_variable sleep_cv_;
+};
+
+}  // namespace pp::detail

@@ -1,0 +1,92 @@
+// Aggregate policies for the dominance-DP range tree (Algorithm 3).
+//
+// Each point is either *unfinished* (its DP value conceptually +inf, per
+// the paper) or *finished* with a concrete DP value. The range tree
+// maintains, per subtree, the triple of the paper's Algorithm 3:
+//   n_inf — number of unfinished points,
+//   dp*   — max DP value among finished points,
+//   x*    — a pivot candidate: an unfinished point if any exist (chosen by
+//           the policy), otherwise the finished argmax-dp point (used for
+//           LIS reconstruction).
+//
+// Two pivot-candidate policies, as in the paper:
+//   dom_agg_random    — uniformly random unfinished point (Algorithm 3's
+//                       Line 17: choose side with probability n1 : n2);
+//   dom_agg_rightmost — the largest-id unfinished point (the heuristic the
+//                       paper's experiments use, Sec. 6.4).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pp {
+
+inline constexpr int32_t kDomNegInf = std::numeric_limits<int32_t>::min();
+inline constexpr uint32_t kDomNoCand = 0xFFFFFFFFu;
+
+struct dom_agg_random {
+  struct value_type {
+    uint32_t unfinished;  // # unfinished points in the region
+    int32_t dp;           // max finished dp (kDomNegInf when none)
+    uint32_t cand;        // pivot candidate (see header comment)
+  };
+
+  static value_type identity() { return {0, kDomNegInf, kDomNoCand}; }
+  static value_type unfinished_leaf(uint32_t id) { return {1, kDomNegInf, id}; }
+  static value_type finished_leaf(uint32_t id, int32_t dp) { return {0, dp, id}; }
+
+  static bool has_unfinished(const value_type& v) { return v.unfinished != 0; }
+  static int32_t dp_of(const value_type& v) { return v.dp; }
+  static uint32_t cand_of(const value_type& v) { return v.cand; }
+
+  static value_type combine(const value_type& a, const value_type& b, uint64_t rnd) {
+    value_type r;
+    r.unfinished = a.unfinished + b.unfinished;
+    r.dp = a.dp < b.dp ? b.dp : a.dp;
+    if (r.unfinished != 0) {
+      // Uniformly random unfinished point: pick a's candidate with
+      // probability |a.unfinished| / |total| (Line 17 of Algorithm 3).
+      uint64_t pick = rnd % r.unfinished;
+      r.cand = pick < a.unfinished ? a.cand : b.cand;
+      if (a.unfinished == 0) r.cand = b.cand;
+      if (b.unfinished == 0) r.cand = a.cand;
+    } else if (a.dp == kDomNegInf && b.dp == kDomNegInf) {
+      r.cand = kDomNoCand;
+    } else {
+      r.cand = a.dp >= b.dp ? a.cand : b.cand;
+    }
+    return r;
+  }
+};
+
+struct dom_agg_rightmost {
+  // dp == INT32_MAX encodes "some point in the region is unfinished", as in
+  // the paper's formulation where unfinished points carry dp = +inf. The
+  // candidate is then the *rightmost* (largest-id) unfinished point —
+  // the heuristic of Sec. 6.4 ("points to the right are more likely to be
+  // processed in later rounds").
+  struct value_type {
+    int32_t dp;
+    uint32_t cand;
+  };
+  static constexpr int32_t kUnfinished = std::numeric_limits<int32_t>::max();
+
+  static value_type identity() { return {kDomNegInf, kDomNoCand}; }
+  static value_type unfinished_leaf(uint32_t id) { return {kUnfinished, id}; }
+  static value_type finished_leaf(uint32_t id, int32_t dp) { return {dp, id}; }
+
+  static bool has_unfinished(const value_type& v) { return v.dp == kUnfinished; }
+  static int32_t dp_of(const value_type& v) { return v.dp; }
+  static uint32_t cand_of(const value_type& v) { return v.cand; }
+
+  static value_type combine(const value_type& a, const value_type& b, uint64_t /*rnd*/) {
+    bool ua = a.dp == kUnfinished, ub = b.dp == kUnfinished;
+    if (ua && ub) return {kUnfinished, a.cand > b.cand ? a.cand : b.cand};
+    if (ua) return a;
+    if (ub) return b;
+    if (a.dp == kDomNegInf && b.dp == kDomNegInf) return {kDomNegInf, kDomNoCand};
+    return a.dp >= b.dp ? a : b;
+  }
+};
+
+}  // namespace pp

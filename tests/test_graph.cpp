@@ -1,0 +1,111 @@
+// Tests for CSR graphs and the synthetic generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "graph/generators.h"
+
+namespace {
+
+void check_csr_wellformed(const pp::graph& g) {
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      ASSERT_LT(nbrs[i], g.num_vertices());
+      ASSERT_NE(nbrs[i], v) << "self loop at " << v;
+      if (i > 0) ASSERT_LT(nbrs[i - 1], nbrs[i]) << "unsorted/duplicate adjacency at " << v;
+      seen.insert({v, nbrs[i]});
+    }
+  }
+  // symmetry
+  for (auto& [u, v] : seen) ASSERT_TRUE(seen.count({v, u})) << u << "->" << v;
+}
+
+TEST(Graph, FromEdgesDedupesAndSymmetrizes) {
+  std::vector<pp::edge> es = {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}};
+  auto g = pp::graph::from_edges(3, es);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);  // {0,1}, {1,2}; self loop {2,2} dropped
+  check_csr_wellformed(g);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, EmptyAndIsolatedVertices) {
+  auto g = pp::graph::from_edges(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (uint32_t v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Generators, RandomGraphWellformed) {
+  auto g = pp::random_graph(1000, 5000, 42);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_GT(g.num_edges(), 4000u);  // few duplicates at this density
+  EXPECT_LE(g.num_edges(), 5000u);
+  check_csr_wellformed(g);
+}
+
+TEST(Generators, RandomGraphDeterministic) {
+  auto a = pp::random_graph(500, 2000, 7);
+  auto b = pp::random_graph(500, 2000, 7);
+  ASSERT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  for (uint32_t v = 0; v < 500; ++v) {
+    auto na = a.neighbors(v), nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+TEST(Generators, RmatSkewedDegrees) {
+  auto g = pp::rmat_graph(1 << 12, 1 << 15, 13);
+  check_csr_wellformed(g);
+  // Power-law-ish: max degree far above average degree.
+  double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(g.max_degree(), 8 * avg);
+}
+
+TEST(Generators, GridGraphStructure) {
+  auto g = pp::grid_graph(10, 15);
+  EXPECT_EQ(g.num_vertices(), 150u);
+  EXPECT_EQ(g.num_edges(), 10u * 14 + 15u * 9);
+  check_csr_wellformed(g);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);  // corner
+  // BFS diameter of a grid is rows+cols-2 from corner to corner.
+  std::vector<int> dist(g.num_vertices(), -1);
+  std::queue<uint32_t> q;
+  q.push(0);
+  dist[0] = 0;
+  while (!q.empty()) {
+    auto v = q.front();
+    q.pop();
+    for (auto u : g.neighbors(v))
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+  }
+  EXPECT_EQ(dist[149], 10 + 15 - 2);
+}
+
+TEST(Generators, AddWeightsSymmetricAndInRange) {
+  auto g = pp::random_graph(300, 1500, 3);
+  auto wg = pp::add_weights(g, 10, 99, 11);
+  EXPECT_EQ(wg.num_vertices(), g.num_vertices());
+  EXPECT_EQ(wg.num_edges(), g.num_directed_edges());
+  EXPECT_GE(wg.min_weight(), 10u);
+  EXPECT_LE(wg.max_weight(), 99u);
+  // both directions carry the same weight
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> w;
+  for (uint32_t v = 0; v < wg.num_vertices(); ++v) {
+    auto nb = wg.out_neighbors(v);
+    auto wt = wg.out_weights(v);
+    for (size_t i = 0; i < nb.size(); ++i) w[{v, nb[i]}] = wt[i];
+  }
+  for (auto& [e, wt] : w) ASSERT_EQ(w.at({e.second, e.first}), wt);
+}
+
+}  // namespace

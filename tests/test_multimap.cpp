@@ -1,0 +1,97 @@
+// Tests for the pivot multi-map used by the Type-2 wake-up strategy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "pabst/multimap.h"
+
+namespace {
+
+using MM = pp::pivot_multimap<uint32_t, uint32_t>;
+
+TEST(Multimap, InsertAndFindBucket) {
+  MM mm;
+  mm.multi_insert({{3, 30}, {1, 10}, {3, 31}, {2, 20}, {3, 32}});
+  EXPECT_EQ(mm.size(), 5u);
+  EXPECT_EQ(mm.find_bucket(3), (std::vector<uint32_t>{30, 31, 32}));
+  EXPECT_EQ(mm.find_bucket(1), (std::vector<uint32_t>{10}));
+  EXPECT_EQ(mm.find_bucket(99), (std::vector<uint32_t>{}));
+}
+
+TEST(Multimap, ExtractBucketsRemoves) {
+  MM mm;
+  mm.multi_insert({{3, 30}, {1, 10}, {3, 31}, {2, 20}, {3, 32}, {5, 50}});
+  std::vector<uint32_t> keys = {1, 3};
+  auto got = mm.extract_buckets(keys);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<uint32_t>{10, 30, 31, 32}));
+  EXPECT_EQ(mm.size(), 2u);
+  EXPECT_EQ(mm.find_bucket(3), (std::vector<uint32_t>{}));
+  EXPECT_EQ(mm.find_bucket(2), (std::vector<uint32_t>{20}));
+  EXPECT_EQ(mm.find_bucket(5), (std::vector<uint32_t>{50}));
+}
+
+TEST(Multimap, ExtractAbsentKeysIsNoop) {
+  MM mm;
+  mm.multi_insert({{7, 1}, {9, 2}});
+  std::vector<uint32_t> keys = {0, 8, 100};
+  EXPECT_TRUE(mm.extract_buckets(keys).empty());
+  EXPECT_EQ(mm.size(), 2u);
+}
+
+TEST(Multimap, RandomizedAgainstStdMultimap) {
+  std::mt19937_64 gen(5);
+  MM mm;
+  std::multimap<uint32_t, uint32_t> ref;
+  uint32_t next_val = 0;
+  for (int round = 0; round < 30; ++round) {
+    // insert a random batch
+    size_t batch = 1 + gen() % 500;
+    std::vector<MM::pair_t> pairs;
+    for (size_t i = 0; i < batch; ++i) {
+      uint32_t k = static_cast<uint32_t>(gen() % 50);
+      pairs.push_back({k, next_val});
+      ref.emplace(k, next_val);
+      ++next_val;
+    }
+    mm.multi_insert(std::move(pairs));
+    ASSERT_EQ(mm.size(), ref.size());
+    // extract a few random buckets
+    std::set<uint32_t> keyset;
+    for (int j = 0; j < 5; ++j) keyset.insert(static_cast<uint32_t>(gen() % 50));
+    std::vector<uint32_t> keys(keyset.begin(), keyset.end());
+    auto got = mm.extract_buckets(keys);
+    std::vector<uint32_t> expect;
+    for (auto k : keys) {
+      auto [lo, hi] = ref.equal_range(k);
+      for (auto it = lo; it != hi; ++it) expect.push_back(it->second);
+      ref.erase(k);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect) << "round " << round;
+    ASSERT_EQ(mm.size(), ref.size());
+    ASSERT_TRUE(mm.check_invariants());
+  }
+}
+
+TEST(Multimap, LargeParallelBatch) {
+  constexpr size_t n = 100000;
+  MM mm;
+  std::vector<MM::pair_t> pairs(n);
+  for (size_t i = 0; i < n; ++i)
+    pairs[i] = {static_cast<uint32_t>(i % 1000), static_cast<uint32_t>(i)};
+  mm.multi_insert(std::move(pairs));
+  EXPECT_EQ(mm.size(), n);
+  // Each bucket has n/1000 values.
+  std::vector<uint32_t> keys = {0, 500, 999};
+  auto got = mm.extract_buckets(keys);
+  EXPECT_EQ(got.size(), 3 * (n / 1000));
+  EXPECT_EQ(mm.size(), n - got.size());
+}
+
+}  // namespace

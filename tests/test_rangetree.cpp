@@ -1,0 +1,281 @@
+// Tests for the 2D range tree: dominance queries and point/batch updates
+// validated against brute force, for both pivot policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "rangetree/policies.h"
+#include "rangetree/range_tree2d.h"
+
+namespace {
+
+// Brute-force model: per point, finished flag + dp value.
+struct Model {
+  std::vector<uint32_t> yrank;
+  std::vector<bool> finished;
+  std::vector<int32_t> dp;
+
+  // over {j : j < qx, yrank[j] < qy}
+  struct Result {
+    uint32_t unfinished = 0;
+    int32_t dp = pp::kDomNegInf;
+    std::set<uint32_t> unfinished_ids;
+    uint32_t rightmost_unfinished = pp::kDomNoCand;
+  };
+  Result query(uint32_t qx, uint32_t qy) const {
+    Result r;
+    for (uint32_t j = 0; j < std::min<size_t>(qx, yrank.size()); ++j) {
+      if (yrank[j] >= qy) continue;
+      if (finished[j]) {
+        r.dp = std::max(r.dp, dp[j]);
+      } else {
+        r.unfinished++;
+        r.unfinished_ids.insert(j);
+        if (r.rightmost_unfinished == pp::kDomNoCand || j > r.rightmost_unfinished)
+          r.rightmost_unfinished = j;
+      }
+    }
+    return r;
+  }
+};
+
+Model random_model(size_t n, uint64_t seed, double finished_frac) {
+  std::mt19937_64 gen(seed);
+  std::vector<int64_t> vals(n);
+  for (auto& v : vals) v = static_cast<int64_t>(gen() % (n + 3));  // duplicates likely
+  Model m;
+  m.yrank = pp::compute_y_ranks(std::span<const int64_t>(vals));
+  m.finished.resize(n);
+  m.dp.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    m.finished[i] = (gen() % 1000) < finished_frac * 1000;
+    m.dp[i] = m.finished[i] ? static_cast<int32_t>(gen() % 100) : 0;
+  }
+  return m;
+}
+
+template <typename Agg>
+pp::range_tree2d<Agg> tree_of(const Model& m, uint64_t seed = 1) {
+  return pp::range_tree2d<Agg>(
+      std::span<const uint32_t>(m.yrank),
+      [&](uint32_t id) {
+        return m.finished[id] ? Agg::finished_leaf(id, m.dp[id]) : Agg::unfinished_leaf(id);
+      },
+      seed);
+}
+
+TEST(YRanks, PermutationAndStrictDominance) {
+  std::vector<int64_t> vals = {5, 3, 5, 1, 3, 9, 5};
+  auto r = pp::compute_y_ranks(std::span<const int64_t>(vals));
+  std::vector<bool> seen(vals.size(), false);
+  for (auto x : r) {
+    ASSERT_LT(x, vals.size());
+    ASSERT_FALSE(seen[x]);
+    seen[x] = true;
+  }
+  // For every ordered pair j < i: yrank[j] < yrank[i] iff vals[j] < vals[i].
+  for (size_t i = 0; i < vals.size(); ++i)
+    for (size_t j = 0; j < i; ++j)
+      EXPECT_EQ(r[j] < r[i], vals[j] < vals[i]) << j << "," << i;
+}
+
+class RangeTreeSize : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RangeTreeSize, RightmostQueriesMatchBrute) {
+  size_t n = GetParam();
+  auto model = random_model(n, 100 + n, 0.5);
+  auto t = tree_of<pp::dom_agg_rightmost>(model);
+  std::mt19937_64 gen(7);
+  for (int q = 0; q < 300; ++q) {
+    uint32_t qx = static_cast<uint32_t>(gen() % (n + 2));
+    uint32_t qy = static_cast<uint32_t>(gen() % (n + 2));
+    auto got = t.query_prefix(qx, qy, gen());
+    auto expect = model.query(qx, qy);
+    if (expect.unfinished > 0) {
+      ASSERT_TRUE(pp::dom_agg_rightmost::has_unfinished(got)) << qx << "," << qy;
+      EXPECT_EQ(got.cand, expect.rightmost_unfinished);
+    } else {
+      ASSERT_FALSE(pp::dom_agg_rightmost::has_unfinished(got));
+      EXPECT_EQ(got.dp, expect.dp);
+    }
+  }
+}
+
+TEST_P(RangeTreeSize, RandomPolicyQueriesMatchBrute) {
+  size_t n = GetParam();
+  auto model = random_model(n, 200 + n, 0.5);
+  auto t = tree_of<pp::dom_agg_random>(model);
+  std::mt19937_64 gen(11);
+  for (int q = 0; q < 300; ++q) {
+    uint32_t qx = static_cast<uint32_t>(gen() % (n + 2));
+    uint32_t qy = static_cast<uint32_t>(gen() % (n + 2));
+    auto got = t.query_prefix(qx, qy, gen());
+    auto expect = model.query(qx, qy);
+    ASSERT_EQ(got.unfinished, expect.unfinished) << qx << "," << qy;
+    EXPECT_EQ(got.dp, expect.dp);
+    if (expect.unfinished > 0) {
+      // candidate must be one of the unfinished points in the region
+      EXPECT_TRUE(expect.unfinished_ids.count(got.cand)) << got.cand;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RangeTreeSize,
+                         ::testing::Values(size_t{0}, size_t{1}, size_t{5}, size_t{8}, size_t{9},
+                                           size_t{64}, size_t{100}, size_t{1000}, size_t{5000}));
+
+TEST(RangeTree, UpdatesReflectInQueries) {
+  constexpr size_t n = 500;
+  auto model = random_model(n, 42, 0.0);  // everything unfinished
+  auto t = tree_of<pp::dom_agg_random>(model);
+  std::mt19937_64 gen(13);
+  // Finish points one at a time in random order; check queries as we go.
+  auto order = pp::random_permutation(n, 99);
+  for (size_t step = 0; step < n; ++step) {
+    uint32_t id = order[step];
+    model.finished[id] = true;
+    model.dp[id] = static_cast<int32_t>(step % 50);
+    t.update(id, pp::dom_agg_random::finished_leaf(id, model.dp[id]), gen());
+    if (step % 25 != 0) continue;
+    for (int q = 0; q < 30; ++q) {
+      uint32_t qx = static_cast<uint32_t>(gen() % (n + 1));
+      uint32_t qy = static_cast<uint32_t>(gen() % (n + 1));
+      auto got = t.query_prefix(qx, qy, gen());
+      auto expect = model.query(qx, qy);
+      ASSERT_EQ(got.unfinished, expect.unfinished);
+      ASSERT_EQ(got.dp, expect.dp);
+    }
+  }
+}
+
+TEST(RangeTree, BatchUpdateEquivalentToPointUpdates) {
+  constexpr size_t n = 3000;
+  auto model = random_model(n, 77, 0.0);
+  auto t_batch = tree_of<pp::dom_agg_rightmost>(model);
+  auto t_point = tree_of<pp::dom_agg_rightmost>(model);
+  std::mt19937_64 gen(17);
+  auto order = pp::random_permutation(n, 5);
+  size_t done = 0;
+  while (done < n) {
+    size_t b = std::min<size_t>(1 + gen() % 200, n - done);
+    std::vector<uint32_t> ids(order.begin() + done, order.begin() + done + b);
+    std::vector<pp::dom_agg_rightmost::value_type> vals(b);
+    for (size_t i = 0; i < b; ++i) {
+      model.finished[ids[i]] = true;
+      model.dp[ids[i]] = static_cast<int32_t>((done + i) % 100);
+      vals[i] = pp::dom_agg_rightmost::finished_leaf(ids[i], model.dp[ids[i]]);
+      t_point.update(ids[i], vals[i]);
+    }
+    t_batch.batch_update(ids, vals, gen());
+    done += b;
+    for (int q = 0; q < 20; ++q) {
+      uint32_t qx = static_cast<uint32_t>(gen() % (n + 1));
+      uint32_t qy = static_cast<uint32_t>(gen() % (n + 1));
+      auto a = t_batch.query_prefix(qx, qy);
+      auto b2 = t_point.query_prefix(qx, qy);
+      auto expect = model.query(qx, qy);
+      ASSERT_EQ(a.dp, b2.dp);
+      ASSERT_EQ(a.cand, b2.cand);
+      if (expect.unfinished > 0) {
+        ASSERT_EQ(a.cand, expect.rightmost_unfinished);
+      } else {
+        ASSERT_EQ(a.dp, expect.dp);
+      }
+    }
+  }
+}
+
+TEST(RangeTree, RandomCandidateRoughlyUniform) {
+  // Random candidates are fixed per tree *state* (they are chosen when
+  // aggregates are computed, as in Algorithm 3); uniformity is over the
+  // internal coin flips. Rebuild with different seeds and also re-touch a
+  // leaf (update path) to sample the candidate distribution.
+  constexpr size_t n = 64, k = 16;
+  std::vector<uint32_t> yr(n);
+  for (size_t i = 0; i < n; ++i) yr[i] = static_cast<uint32_t>(i);  // identity ranks
+  std::map<uint32_t, size_t> hist;
+  constexpr size_t trials = 4000;
+  for (size_t trial = 0; trial < trials; ++trial) {
+    pp::range_tree2d<pp::dom_agg_random> t(
+        std::span<const uint32_t>(yr),
+        [&](uint32_t id) {
+          // first k points unfinished, rest finished
+          return id < k ? pp::dom_agg_random::unfinished_leaf(id)
+                        : pp::dom_agg_random::finished_leaf(id, 1);
+        },
+        /*seed=*/trial);
+    auto got = t.query_prefix(n, n, /*rnd=*/trial * 31);
+    ASSERT_EQ(got.unfinished, k);
+    ASSERT_LT(got.cand, k);
+    hist[got.cand]++;
+  }
+  for (uint32_t id = 0; id < k; ++id) {
+    double freq = static_cast<double>(hist[id]) / trials;
+    EXPECT_NEAR(freq, 1.0 / k, 0.025) << "candidate " << id;
+  }
+}
+
+TEST(RangeTree, RectQueriesMatchBrute) {
+  for (size_t n : {0ul, 1ul, 9ul, 200ul, 3000ul}) {
+    auto model = random_model(n, 500 + n, 0.6);
+    auto t = tree_of<pp::dom_agg_random>(model);
+    std::mt19937_64 gen(31 + n);
+    for (int q = 0; q < 200; ++q) {
+      uint32_t x1 = static_cast<uint32_t>(gen() % (n + 2));
+      uint32_t x2 = static_cast<uint32_t>(gen() % (n + 2));
+      uint32_t y1 = static_cast<uint32_t>(gen() % (n + 2));
+      uint32_t y2 = static_cast<uint32_t>(gen() % (n + 2));
+      auto got = t.query_rect(x1, x2, y1, y2, gen());
+      // brute force over the same rectangle
+      uint32_t unfinished = 0;
+      int32_t dp = pp::kDomNegInf;
+      for (uint32_t j = std::min<size_t>(x1, n); j < std::min<size_t>(x2, n); ++j) {
+        if (model.yrank[j] < y1 || model.yrank[j] >= y2) continue;
+        if (model.finished[j]) dp = std::max(dp, model.dp[j]);
+        else unfinished++;
+      }
+      ASSERT_EQ(got.unfinished, unfinished) << n << ": " << x1 << "," << x2 << "," << y1 << "," << y2;
+      ASSERT_EQ(got.dp, dp);
+    }
+  }
+}
+
+TEST(RangeTree, RectDegenerateRanges) {
+  auto model = random_model(64, 9, 0.5);
+  auto t = tree_of<pp::dom_agg_rightmost>(model);
+  // empty in x, empty in y, inverted
+  EXPECT_EQ(t.query_rect(10, 10, 0, 64).dp, pp::kDomNegInf);
+  EXPECT_EQ(t.query_rect(0, 64, 5, 5).dp, pp::kDomNegInf);
+  EXPECT_EQ(t.query_rect(30, 10, 0, 64).dp, pp::kDomNegInf);
+  // full rectangle == prefix query with maximal bounds
+  auto full = t.query_rect(0, 64, 0, 64);
+  auto pref = t.query_prefix(64, 64);
+  EXPECT_EQ(full.dp, pref.dp);
+  EXPECT_EQ(full.cand, pref.cand);
+}
+
+TEST(RangeTree, EmptyQueriesReturnIdentity) {
+  auto model = random_model(100, 3, 0.5);
+  auto t = tree_of<pp::dom_agg_rightmost>(model);
+  auto v0 = t.query_prefix(0, 50);
+  EXPECT_EQ(v0.dp, pp::kDomNegInf);
+  EXPECT_EQ(v0.cand, pp::kDomNoCand);
+  auto v1 = t.query_prefix(50, 0);
+  EXPECT_EQ(v1.dp, pp::kDomNegInf);
+}
+
+TEST(RangeTree, LeafValueAccessor) {
+  auto model = random_model(50, 4, 0.0);
+  auto t = tree_of<pp::dom_agg_random>(model);
+  EXPECT_EQ(t.leaf_value(7).unfinished, 1u);
+  t.update(7, pp::dom_agg_random::finished_leaf(7, 33));
+  EXPECT_EQ(t.leaf_value(7).unfinished, 0u);
+  EXPECT_EQ(t.leaf_value(7).dp, 33);
+  EXPECT_EQ(t.y_rank(7), model.yrank[7]);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Tests for the work-stealing scheduler and the par_do/parallel_for API,
+// across all three backends.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/api.h"
+
+namespace {
+
+using pp::backend_kind;
+
+class BackendTest : public ::testing::TestWithParam<backend_kind> {
+ protected:
+  void SetUp() override { pp::set_backend(GetParam()); }
+  void TearDown() override { pp::set_backend(backend_kind::native); }
+};
+
+TEST_P(BackendTest, ParDoRunsBothSides) {
+  std::atomic<int> left{0}, right{0};
+  pp::par_do([&] { left = 1; }, [&] { right = 2; });
+  EXPECT_EQ(left.load(), 1);
+  EXPECT_EQ(right.load(), 2);
+}
+
+TEST_P(BackendTest, ParDoNested) {
+  std::atomic<long> sum{0};
+  pp::par_do(
+      [&] {
+        pp::par_do([&] { sum += 1; }, [&] { sum += 2; });
+      },
+      [&] {
+        pp::par_do([&] { sum += 4; }, [&] { sum += 8; });
+      });
+  EXPECT_EQ(sum.load(), 15);
+}
+
+TEST_P(BackendTest, ParDoDeepRecursionFib) {
+  // Binary-forked fib: thousands of forks, exercises stealing + helping.
+  std::function<long(int)> fib = [&](int n) -> long {
+    if (n < 2) return n;
+    long a = 0, b = 0;
+    pp::par_do([&] { a = fib(n - 1); }, [&] { b = fib(n - 2); });
+    return a + b;
+  };
+  EXPECT_EQ(fib(20), 6765);
+}
+
+TEST_P(BackendTest, ParallelForCoversRangeExactlyOnce) {
+  constexpr size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  pp::parallel_for(0, n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST_P(BackendTest, ParallelForEmptyAndSingle) {
+  std::atomic<int> count{0};
+  pp::parallel_for(5, 5, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  pp::parallel_for(7, 8, [&](size_t i) {
+    EXPECT_EQ(i, 7u);
+    count++;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST_P(BackendTest, ParallelForTinyGrain) {
+  constexpr size_t n = 4096;
+  std::vector<int> out(n, 0);
+  pp::parallel_for(0, n, [&](size_t i) { out[i] = static_cast<int>(i); }, 1);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST_P(BackendTest, NestedParallelForInsideParDo) {
+  constexpr size_t n = 10000;
+  std::vector<int> a(n, 0), b(n, 0);
+  pp::par_do([&] { pp::parallel_for(0, n, [&](size_t i) { a[i] = 1; }); },
+             [&] { pp::parallel_for(0, n, [&](size_t i) { b[i] = 2; }); });
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0L), static_cast<long>(n));
+  EXPECT_EQ(std::accumulate(b.begin(), b.end(), 0L), 2L * static_cast<long>(n));
+}
+
+TEST_P(BackendTest, ManySequentialParallelRegions) {
+  // Regression guard against leaks/deadlocks in repeated entry.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> c{0};
+    pp::parallel_for(0, 100, [&](size_t) { c++; });
+    ASSERT_EQ(c.load(), 100);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendTest,
+                         ::testing::Values(backend_kind::native, backend_kind::openmp,
+                                           backend_kind::sequential),
+                         [](const auto& info) {
+                           return std::string(pp::backend_name(info.param));
+                         });
+
+TEST(Scheduler, NumWorkersPositive) {
+  EXPECT_GE(pp::num_workers(), 1u);
+}
+
+TEST(Scheduler, WorkerIdOfMainIsZero) {
+  EXPECT_EQ(pp::detail::work_stealing_pool::instance().worker_id(), 0);
+}
+
+TEST(Scheduler, UnbalancedForkJoin) {
+  // Left side finishes immediately; right side is heavy. The parent must
+  // wait for the stolen child correctly.
+  pp::set_backend(backend_kind::native);
+  std::atomic<long> sum{0};
+  pp::par_do([&] { sum += 1; },
+             [&] {
+               for (int i = 0; i < 1000; ++i) sum += 1;
+             });
+  EXPECT_EQ(sum.load(), 1001);
+}
+
+}  // namespace
