@@ -1,10 +1,15 @@
 // Ablation: parallel runtime backend (native work-stealing vs OpenMP vs
 // sequential) on the core primitives. The algorithms only use
 // par_do/parallel_for, so this isolates the scheduler's contribution.
+//
+// Uses the context API: one pp::context per backend column, activated
+// around the timed section, so the same lambda runs under each backend
+// without touching process-global state.
 #include <cstdio>
 #include <numeric>
 
 #include "bench_common.h"
+#include "core/context.h"
 #include "parallel/primitives.h"
 #include "parallel/random.h"
 #include "parallel/sort.h"
@@ -16,7 +21,8 @@ void rowbench(const char* name, F f) {
   std::printf("%-18s", name);
   for (auto b : {pp::backend_kind::sequential, pp::backend_kind::openmp,
                  pp::backend_kind::native}) {
-    pp::scoped_backend sb(b);
+    pp::context ctx = bench::env_context().with_backend(b);
+    pp::scoped_context scope(ctx);
     std::printf(" %10.3f", bench::time_s(f));
   }
   std::printf("\n");
@@ -25,7 +31,8 @@ void rowbench(const char* name, F f) {
 }  // namespace
 
 int main() {
-  bench::banner("Ablation: scheduler backend on primitives", "Sec. 2 computational model");
+  bench::banner("Ablation: scheduler backend on primitives", "Sec. 2 computational model",
+                bench::env_context());
   size_t n = bench::scaled(20'000'000);
   std::printf("n = %zu\n\n%-18s %10s %10s %10s\n", n, "primitive", "seq(s)", "openmp(s)",
               "native(s)");

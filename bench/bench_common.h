@@ -7,6 +7,8 @@
 //    sizes, so the same binaries run at laptop scale and at paper scale;
 //  * REPRO_REPEATS (int env var, default 1) repeats timed sections and
 //    reports the minimum;
+//  * PP_BACKEND / PP_WORKERS / PP_SEED / PP_GRAIN configure the execution
+//    context (see env_context()) without recompiling;
 //  * "self-speedup" is measured by re-running the identical parallel code
 //    under the sequential backend (1 worker), as the paper does with
 //    1-core runs.
@@ -18,6 +20,7 @@
 #include <functional>
 #include <string>
 
+#include "core/context.h"
 #include "parallel/api.h"
 
 namespace bench {
@@ -34,6 +37,19 @@ inline int repeats() {
   return 1;
 }
 
+// The execution context for this benchmark process: the library defaults,
+// overridden by PP_BACKEND / PP_WORKERS / PP_SEED / PP_GRAIN env vars.
+inline pp::context env_context() {
+  pp::context c = pp::default_context();
+  if (const char* b = std::getenv("PP_BACKEND")) {
+    if (auto kind = pp::parse_backend(b)) c.backend = *kind;
+  }
+  if (const char* w = std::getenv("PP_WORKERS")) c.workers = static_cast<unsigned>(std::atoi(w));
+  if (const char* s = std::getenv("PP_SEED")) c.seed = std::strtoull(s, nullptr, 10);
+  if (const char* g = std::getenv("PP_GRAIN")) c.grain = std::strtoull(g, nullptr, 10);
+  return c;
+}
+
 // Wall-clock seconds of f(), min over repeats().
 template <typename F>
 double time_s(F f) {
@@ -47,13 +63,14 @@ double time_s(F f) {
   return best;
 }
 
-inline void banner(const char* what, const char* paper_ref) {
+inline void banner(const char* what, const char* paper_ref,
+                   const pp::context& ctx = pp::current_context()) {
   std::printf("=============================================================\n");
   std::printf("%s\n", what);
   std::printf("reproduces: %s\n", paper_ref);
-  std::printf("backend=%s workers=%u scale=%.3g repeats=%d\n",
-              std::string(pp::backend_name(pp::get_backend())).c_str(), pp::num_workers(),
-              scale(), repeats());
+  std::printf("backend=%s workers=%u seed=%llu scale=%.3g repeats=%d\n",
+              std::string(pp::backend_name(ctx.backend)).c_str(), pp::num_workers(ctx),
+              static_cast<unsigned long long>(ctx.seed), scale(), repeats());
   std::printf("=============================================================\n");
 }
 

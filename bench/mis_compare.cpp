@@ -3,19 +3,37 @@
 // O(rounds * m) readiness work. We report times, the baseline's round
 // count (~log n), and the TAS wake-chain depth (the span proxy), on the
 // three graph families.
+//
+// All solvers dispatch through pp::registry::run on one graph_input per
+// family; times come from the run_result envelope (min over
+// REPRO_REPEATS).
 #include <cmath>
 #include <cstdio>
 
-#include "algos/coloring.h"
-#include "algos/matching.h"
-#include "algos/mis.h"
 #include "bench_common.h"
+#include "core/registry.h"
 #include "graph/generators.h"
 #include "parallel/random.h"
 
+namespace {
+
+// Min-over-repeats run of one registry solver on one input.
+pp::run_result<pp::solver_value> timed_run(const char* solver, const pp::problem_input& in,
+                                           const pp::context& ctx) {
+  auto best = pp::registry::run(solver, in, ctx);
+  for (int r = 1; r < bench::repeats(); ++r) {
+    auto res = pp::registry::run(solver, in, ctx);
+    if (res.seconds < best.seconds) best = std::move(res);
+  }
+  return best;
+}
+
+}  // namespace
+
 int main() {
+  const pp::context ctx = bench::env_context();
   bench::banner("Greedy MIS: sequential vs round-based vs TAS-tree (Algorithm 4)",
-                "Sec. 5.3 claim (work-efficiency + span)");
+                "Sec. 5.3 claim (work-efficiency + span)", ctx);
   std::printf("%-12s %10s %12s | %8s %10s %10s | %8s %10s %12s\n", "graph", "n", "m", "seq(s)",
               "rounds(s)", "tas(s)", "#rounds", "wakedepth", "log n log d");
   struct G {
@@ -30,20 +48,24 @@ int main() {
                               static_cast<uint32_t>(bench::scaled(500)))},
   };
   for (auto& [name, g] : graphs) {
-    auto prio = pp::random_permutation(g.num_vertices(), 42);
-    pp::mis_result seq, rounds, tas;
-    double ts = bench::time_s([&] { seq = pp::mis_sequential(g, prio); });
-    double tr = bench::time_s([&] { rounds = pp::mis_rounds(g, prio); });
-    double tt = bench::time_s([&] { tas = pp::mis_tas(g, prio); });
-    if (rounds.in_mis != seq.in_mis || tas.in_mis != seq.in_mis) {
+    pp::graph_input gin;
+    gin.g = g;
+    gin.vertex_priority = pp::random_permutation(g.num_vertices(), 42);
+    pp::problem_input in(std::move(gin));
+    auto seq = timed_run("mis/sequential", in, ctx);
+    auto rounds = timed_run("mis/rounds", in, ctx);
+    auto tas = timed_run("mis/tas", in, ctx);
+    const auto& seq_mis = std::get<pp::mis_result>(seq.value);
+    if (std::get<pp::mis_result>(rounds.value).in_mis != seq_mis.in_mis ||
+        std::get<pp::mis_result>(tas.value).in_mis != seq_mis.in_mis) {
       std::printf("MIS MISMATCH!\n");
       return 1;
     }
     double bound = std::log2(static_cast<double>(g.num_vertices())) *
                    std::log2(static_cast<double>(g.max_degree()) + 2);
     std::printf("%-12s %10u %12zu | %8.3f %10.3f %10.3f | %8zu %10zu %12.1f\n", name,
-                g.num_vertices(), g.num_edges(), ts, tr, tt, rounds.stats.rounds,
-                tas.stats.substeps, bound);
+                g.num_vertices(), g.num_edges(), seq.seconds, rounds.seconds, tas.seconds,
+                rounds.stats.rounds, tas.stats.substeps, bound);
   }
   std::printf("\nShape check vs paper: all three agree on the MIS; the TAS version's\n"
               "wake-chain depth tracks O(log n); round-based pays ~rounds x m work.\n");
@@ -52,20 +74,25 @@ int main() {
   std::printf("\n%-12s | %10s %10s %8s | %10s %10s %8s\n", "graph", "colseq(s)", "coltas(s)",
               "#colors", "matseq(s)", "matpar(s)", "#rounds");
   for (auto& [name, g] : graphs) {
-    auto prio = pp::random_permutation(g.num_vertices(), 43);
-    auto eprio = pp::random_permutation(g.num_edges(), 44);
-    pp::coloring_result cs, ct;
-    pp::matching_result ms, mp;
-    double tcs = bench::time_s([&] { cs = pp::coloring_sequential(g, prio); });
-    double tct = bench::time_s([&] { ct = pp::coloring_tas(g, prio); });
-    double tms = bench::time_s([&] { ms = pp::matching_sequential(g, eprio); });
-    double tmp = bench::time_s([&] { mp = pp::matching_rounds(g, eprio); });
-    if (ct.color != cs.color || mp.partner != ms.partner) {
+    pp::graph_input gin;
+    gin.g = g;
+    gin.vertex_priority = pp::random_permutation(g.num_vertices(), 43);
+    gin.edge_priority = pp::random_permutation(g.num_edges(), 44);
+    pp::problem_input in(std::move(gin));
+    auto cs = timed_run("coloring/sequential", in, ctx);
+    auto ct = timed_run("coloring/tas", in, ctx);
+    auto ms = timed_run("matching/sequential", in, ctx);
+    auto mp = timed_run("matching/rounds", in, ctx);
+    if (std::get<pp::coloring_result>(ct.value).color !=
+            std::get<pp::coloring_result>(cs.value).color ||
+        std::get<pp::matching_result>(mp.value).partner !=
+            std::get<pp::matching_result>(ms.value).partner) {
       std::printf("COLORING/MATCHING MISMATCH!\n");
       return 1;
     }
-    std::printf("%-12s | %10.3f %10.3f %8u | %10.3f %10.3f %8zu\n", name, tcs, tct,
-                ct.num_colors, tms, tmp, mp.stats.rounds);
+    std::printf("%-12s | %10.3f %10.3f %8u | %10.3f %10.3f %8zu\n", name, cs.seconds,
+                ct.seconds, std::get<pp::coloring_result>(ct.value).num_colors, ms.seconds,
+                mp.seconds, mp.stats.rounds);
   }
   std::printf("\nColoring and matching reuse the TAS/round wake-ups and return exactly\n"
               "the sequential greedy results (Jones-Plassmann order).\n");

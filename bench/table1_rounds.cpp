@@ -5,92 +5,108 @@
 // rounds equals the rank (exact-rank algorithms) or stays within the
 // relaxed-rank bound. This is the "round-efficiency" column of the paper
 // made executable.
+//
+// Every solver is dispatched through pp::registry::run on explicit
+// problem_input descriptors, so the rows exercise exactly the API that
+// benches, examples, and the CLI share.
 #include <cstdio>
 
-#include "algos/activity.h"
-#include "algos/activity_unweighted.h"
-#include "algos/huffman.h"
-#include "algos/knapsack.h"
-#include "algos/lis.h"
-#include "algos/mis.h"
-#include "algos/sssp.h"
-#include "algos/whac.h"
 #include "bench_common.h"
+#include "core/registry.h"
 #include "graph/generators.h"
 #include "parallel/random.h"
 
 namespace {
+
 void row(const char* problem, const char* rank_def, size_t rank, size_t rounds, bool ok) {
   std::printf("%-22s %-42s %10zu %10zu %6s\n", problem, rank_def, rank, rounds,
               ok ? "OK" : "FAIL");
   if (!ok) std::exit(1);
 }
+
 }  // namespace
 
 int main() {
-  bench::banner("Table 1: rank definitions, measured rounds == rank", "Table 1, Sec. 3-5");
+  const pp::context ctx = bench::env_context();
+  bench::banner("Table 1: rank definitions, measured rounds == rank", "Table 1, Sec. 3-5", ctx);
   std::printf("%-22s %-42s %10s %10s %6s\n", "problem", "rank(x)", "rank(S)", "rounds", "");
 
+  using pp::registry;
+
   {  // activity selection (Type 1 and Type 2): rank = max compatible chain
-    auto acts = pp::random_activities(bench::scaled(200'000), 1'000'000, 2000, 500, 100, 1);
-    auto t1 = pp::activity_select_type1(acts);
-    auto t2 = pp::activity_select_type2(acts);
-    auto unw = pp::activity_unweighted_parallel(acts);  // rank via pivot forest depth
-    size_t rank = static_cast<size_t>(unw.best);
+    pp::problem_input in = pp::activity_input{
+        pp::random_activities(bench::scaled(200'000), 1'000'000, 2000, 500, 100, 1)};
+    auto t1 = registry::run("activity/type1", in, ctx);
+    auto t2 = registry::run("activity/type2", in, ctx);
+    auto unw = registry::run("activity_unweighted/parallel", in, ctx);  // rank via forest depth
+    size_t rank = static_cast<size_t>(pp::score_of(unw.value));
     row("activity (type 1)", "max #non-overlapping ending at x", rank, t1.stats.rounds,
         t1.stats.rounds == rank);
     row("activity (type 2)", "max #non-overlapping ending at x", rank, t2.stats.rounds,
         t2.stats.rounds == rank);
   }
   {  // unlimited knapsack: relaxed rank floor(W/w*)
-    auto items = pp::random_items(40, 25, 100, 50, 2);
-    int64_t W = 100'000;
-    int64_t wstar = items[0].weight;
-    for (auto& it : items) wstar = std::min(wstar, it.weight);
-    auto par = pp::knapsack_parallel(W, items);
-    size_t rank = static_cast<size_t>(W / wstar) + 1;
+    pp::knapsack_input kin;
+    kin.items = pp::random_items(40, 25, 100, 50, 2);
+    kin.capacity = 100'000;
+    int64_t wstar = kin.items[0].weight;
+    for (auto& it : kin.items) wstar = std::min(wstar, it.weight);
+    auto par = registry::run("knapsack/parallel", pp::problem_input(kin), ctx);
+    size_t rank = static_cast<size_t>(kin.capacity / wstar) + 1;
     row("unlimited knapsack", "floor(x / w*)  [relaxed]", rank, par.stats.rounds,
         par.stats.rounds == rank);
   }
   {  // Huffman: relaxed rank <= height
-    auto freqs = pp::uniform_freqs(bench::scaled(200'000), 1000, 3);
-    auto par = pp::huffman_parallel(freqs);
-    row("huffman tree", "subtree height  [relaxed <= H]", par.height, par.stats.rounds,
-        par.stats.rounds <= 2 * (par.height + 1));
+    pp::problem_input in =
+        pp::huffman_input{pp::uniform_freqs(bench::scaled(200'000), 1000, 3)};
+    auto par = registry::run("huffman/parallel", in, ctx);
+    auto height = std::get<pp::huffman_result>(par.value).height;
+    row("huffman tree", "subtree height  [relaxed <= H]", height, par.stats.rounds,
+        par.stats.rounds <= 2 * (static_cast<size_t>(height) + 1));
   }
   {  // Dijkstra / SSSP: relaxed rank ceil(d(v)/w*)
+    pp::sssp_input sin;
     auto g = pp::random_graph(static_cast<uint32_t>(bench::scaled(50'000)),
                               bench::scaled(400'000), 4);
-    auto wg = pp::add_weights(g, 1u << 20, 1u << 23, 5);
-    auto par = pp::sssp_phase_parallel(wg, 0);
+    sin.g = pp::add_weights(g, 1u << 20, 1u << 23, 5);
+    sin.source = 0;
+    auto par = registry::run("sssp/phase_parallel", pp::problem_input(sin), ctx);
+    const auto& dist = std::get<pp::sssp_result>(par.value).dist;
     int64_t maxd = 0;
-    for (auto d : par.dist)
+    for (auto d : dist)
       if (d < pp::kInfDist) maxd = std::max(maxd, d);
-    size_t rank = static_cast<size_t>(maxd / wg.min_weight()) + 1;
+    size_t rank = static_cast<size_t>(maxd / sin.g.min_weight()) + 1;
     row("dijkstra (delta=w*)", "ceil(d(x) / w*)  [relaxed]", rank, par.stats.rounds,
         par.stats.rounds <= rank);
   }
   {  // LIS: rank = LIS length ending at x
-    auto a = pp::lis_segment_pattern(bench::scaled(200'000), 64, 6);
-    auto par = pp::lis_parallel(a);
-    row("LIS", "LIS length ending at x", static_cast<size_t>(par.length), par.stats.rounds,
-        par.stats.rounds == static_cast<size_t>(par.length));
+    pp::sequence_input sin;
+    sin.a = pp::lis_segment_pattern(bench::scaled(200'000), 64, 6);
+    auto par = registry::run("lis/parallel", pp::problem_input(sin), ctx);
+    auto length = static_cast<size_t>(pp::score_of(par.value));
+    row("LIS", "LIS length ending at x", length, par.stats.rounds, par.stats.rounds == length);
   }
   {  // MIS: rank = longest increasing-priority path; rounds of the
      //       round-based variant equal the max rank
-    auto g = pp::rmat_graph(static_cast<uint32_t>(bench::scaled(1u << 15)),
-                            bench::scaled(1u << 18), 7);
-    auto prio = pp::random_permutation(g.num_vertices(), 8);
-    auto rounds = pp::mis_rounds(g, prio);
-    auto tas = pp::mis_tas(g, prio);
+    pp::graph_input gin;
+    gin.g = pp::rmat_graph(static_cast<uint32_t>(bench::scaled(1u << 15)),
+                           bench::scaled(1u << 18), 7);
+    gin.vertex_priority = pp::random_permutation(gin.g.num_vertices(), 8);
+    pp::problem_input in(std::move(gin));
+    auto rounds = registry::run("mis/rounds", in, ctx);
+    auto tas = registry::run("mis/tas", in, ctx);
     row("greedy MIS", "longest incr-priority chain to x", rounds.stats.rounds,
-        rounds.stats.rounds, tas.in_mis == rounds.in_mis);
+        rounds.stats.rounds,
+        std::get<pp::mis_result>(tas.value).in_mis ==
+            std::get<pp::mis_result>(rounds.value).in_mis);
   }
   {  // Whac-A-Mole: rank = most moles hit ending at x
-    auto moles = pp::random_moles(bench::scaled(100'000), 1'000'000, 5'000, 9);
-    auto par = pp::whac_parallel(moles);
-    row("whac-a-mole", "max moles hit ending at x", static_cast<size_t>(par.best),
-        par.stats.rounds, par.stats.rounds == static_cast<size_t>(par.best));
+    pp::problem_input in =
+        pp::whac_input{pp::random_moles(bench::scaled(100'000), 1'000'000, 5'000, 9)};
+    auto par = registry::run("whac/parallel", in, ctx);
+    auto best = static_cast<size_t>(pp::score_of(par.value));
+    row("whac-a-mole", "max moles hit ending at x", best, par.stats.rounds,
+        par.stats.rounds == best);
   }
   std::printf("\nAll phase-parallel algorithms are round-efficient: rounds == rank(S)\n"
               "(or within the relaxed-rank bound where the paper uses relaxed ranks).\n");

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "algos/activity.h"
+#include "core/context.h"
 
 namespace {
 
@@ -50,10 +51,11 @@ int main() {
   auto jobs = pp::random_activities(n_jobs, 24 * 3600, 8 * 60.0, 6 * 60.0, 1000, 2024);
   std::printf("scheduling %zu candidate jobs on one machine\n", jobs.size());
 
+  const pp::context ctx = pp::default_context();
   pp::activity_result seq, par1, par2;
-  double ts = secs([&] { seq = pp::activity_select_seq(jobs); });
-  double t1 = secs([&] { par1 = pp::activity_select_type1_flat(jobs); });
-  double t2 = secs([&] { par2 = pp::activity_select_type2(jobs); });
+  double ts = secs([&] { seq = pp::activity_select_seq(jobs, ctx); });
+  double t1 = secs([&] { par1 = pp::activity_select_type1_flat(jobs, ctx); });
+  double t2 = secs([&] { par2 = pp::activity_select_type2(jobs, ctx); });
 
   std::printf("best total payment: %lld (seq %.3fs | type1 %.3fs | type2 %.3fs)\n",
               (long long)seq.best, ts, t1, t2);

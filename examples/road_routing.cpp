@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "algos/sssp.h"
+#include "core/context.h"
 #include "graph/generators.h"
 
 namespace {
@@ -25,14 +26,15 @@ int main() {
   std::printf("road grid: %u intersections, %zu directed segments, w*=%us\n",
               roads.num_vertices(), roads.num_edges(), roads.min_weight());
 
+  const pp::context ctx = pp::default_context();
   pp::vertex_t depot = 0;
   pp::sssp_result dj;
-  double t_dj = secs([&] { dj = pp::sssp_dijkstra(roads, depot); });
+  double t_dj = secs([&] { dj = pp::sssp_dijkstra(roads, depot, ctx); });
   std::printf("%-28s %8.3fs\n", "dijkstra (sequential)", t_dj);
 
   for (uint32_t delta : {roads.min_weight(), 4 * roads.min_weight(), 64 * roads.min_weight()}) {
     pp::sssp_result ds;
-    double t = secs([&] { ds = pp::sssp_delta_stepping(roads, depot, delta); });
+    double t = secs([&] { ds = pp::sssp_delta_stepping(roads, depot, delta, ctx); });
     std::printf("delta-stepping (Delta=%5u)  %8.3fs   buckets=%zu substeps=%zu  %s\n", delta, t,
                 ds.stats.rounds, ds.stats.substeps,
                 ds.dist == dj.dist ? "distances OK" : "MISMATCH");

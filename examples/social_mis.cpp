@@ -13,6 +13,7 @@
 #include "algos/coloring.h"
 #include "algos/matching.h"
 #include "algos/mis.h"
+#include "core/context.h"
 #include "graph/generators.h"
 #include "parallel/random.h"
 
@@ -25,20 +26,21 @@ double secs(std::function<void()> f) {
 }  // namespace
 
 int main() {
+  const pp::context ctx = pp::default_context();  // backend/workers/seed in one place
   auto g = pp::rmat_graph(1 << 17, 1 << 21, 2718);
   std::printf("social graph: %u users, %zu follow edges, max degree %u\n", g.num_vertices(),
               g.num_edges(), g.max_degree());
 
   auto prio = pp::random_permutation(g.num_vertices(), 31);
   pp::mis_result mis;
-  double t_mis = secs([&] { mis = pp::mis_tas(g, prio); });
+  double t_mis = secs([&] { mis = pp::mis_tas(g, prio, ctx); });
   std::printf("\nmoderators (greedy MIS, TAS trees): %zu selected in %.3fs\n", mis.mis_size,
               t_mis);
   std::printf("  maximal independent: %s, wake-chain depth %zu\n",
               pp::is_maximal_independent_set(g, mis.in_mis) ? "yes" : "NO", mis.stats.substeps);
 
   pp::coloring_result col;
-  double t_col = secs([&] { col = pp::coloring_tas(g, prio); });
+  double t_col = secs([&] { col = pp::coloring_tas(g, prio, ctx); });
   std::printf("\ncommittees (Jones-Plassmann coloring): %u committees in %.3fs\n",
               col.num_colors, t_col);
   std::printf("  valid: %s (max degree + 1 = %u is the greedy bound)\n",
@@ -46,11 +48,11 @@ int main() {
 
   auto eprio = pp::random_permutation(g.num_edges(), 77);
   pp::matching_result match;
-  double t_match = secs([&] { match = pp::matching_rounds(g, eprio); });
+  double t_match = secs([&] { match = pp::matching_rounds(g, eprio, ctx); });
   std::printf("\npeer-review pairs (greedy matching): %zu pairs in %.3fs, %zu rounds\n",
               match.matching_size, t_match, match.stats.rounds);
   std::printf("  maximal: %s, identical to sequential greedy: %s\n",
               pp::is_maximal_matching(g, match.partner) ? "yes" : "NO",
-              match.partner == pp::matching_sequential(g, eprio).partner ? "yes" : "NO");
+              match.partner == pp::matching_sequential(g, eprio, ctx).partner ? "yes" : "NO");
   return 0;
 }

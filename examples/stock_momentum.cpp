@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "algos/lis.h"
+#include "core/context.h"
 
 namespace {
 double secs(std::function<void()> f) {
@@ -24,9 +25,10 @@ int main() {
   auto prices = pp::lis_line_pattern(n_ticks, 2, 500'000, 314);
   std::printf("price series: %zu ticks\n", n_ticks);
 
+  const pp::context ctx = pp::default_context().with_seed(314);
   pp::lis_result classic, par;
-  double tc = secs([&] { classic = pp::lis_sequential(prices); });
-  double tp = secs([&] { par = pp::lis_parallel(prices); });
+  double tc = secs([&] { classic = pp::lis_sequential(prices, ctx); });
+  double tp = secs([&] { par = pp::lis_parallel(prices, ctx); });
   std::printf("longest momentum chain: %lld ticks (classic %.3fs, phase-parallel %.3fs)\n",
               (long long)par.length, tc, tp);
   std::printf("agreement: %s | rounds = chain length = %zu | avg wake-ups %.2f\n",
@@ -43,7 +45,7 @@ int main() {
   auto volume = pp::tabulate<int32_t>(n_ticks, [](size_t i) {
     return 1 + static_cast<int32_t>(pp::hash64(i) % 100);
   });
-  auto wpar = pp::lis_parallel_weighted(prices, volume);
+  auto wpar = pp::lis_parallel_weighted(prices, volume, ctx);
   std::printf("volume-weighted momentum chain: total volume %lld\n", (long long)wpar.length);
   return 0;
 }

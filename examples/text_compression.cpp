@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "algos/huffman.h"
+#include "core/context.h"
 #include "parallel/random.h"
 
 namespace {
@@ -47,7 +48,7 @@ int main() {
   std::vector<uint64_t> freqs(256);
   for (int r = 0; r < 256; ++r) freqs[r] = count[sym_of_rank[r]];
 
-  auto tree = pp::huffman_parallel(freqs);
+  auto tree = pp::huffman_parallel(freqs, pp::default_context());
   auto depths = leaf_depths(tree, 256);
   std::vector<uint32_t> code_len(256);
   for (int r = 0; r < 256; ++r) code_len[sym_of_rank[r]] = depths[r];

@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/stats.h"
 
 namespace pp {
@@ -53,6 +54,12 @@ activity_result activity_select_seq(std::span<const activity> acts);
 activity_result activity_select_type1(std::span<const activity> acts);
 activity_result activity_select_type1_flat(std::span<const activity> acts);
 activity_result activity_select_type2(std::span<const activity> acts);
+
+// Context forms: run the same solvers under an explicit execution context.
+activity_result activity_select_seq(std::span<const activity> acts, const context& ctx);
+activity_result activity_select_type1(std::span<const activity> acts, const context& ctx);
+activity_result activity_select_type1_flat(std::span<const activity> acts, const context& ctx);
+activity_result activity_select_type2(std::span<const activity> acts, const context& ctx);
 
 // Random instance following Sec. 6.1: uniform start times in [0, t_range),
 // truncated-normal durations (mean_len, sd_len, min 1), uniform weights in

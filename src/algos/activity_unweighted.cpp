@@ -50,13 +50,15 @@ unweighted_activity_result activity_unweighted_greedy_seq(std::span<const activi
   return res;
 }
 
-unweighted_activity_result activity_unweighted_euler(std::span<const activity> acts) {
+namespace {
+
+unweighted_activity_result euler_impl(std::span<const activity> acts, uint64_t seed) {
   size_t n = acts.size();
   unweighted_activity_result res;
   res.rank.assign(n, 0);
   if (n == 0) return res;
   auto parent = pivot_forest(acts);  // kRoot == kListEnd == 0xFFFFFFFF
-  auto depths = forest_depths_euler(parent);
+  auto depths = forest_depths_euler(parent, seed);
   int64_t best = 0;
   parallel_for(0, n, [&](size_t i) { res.rank[i] = static_cast<int32_t>(depths.rank[i]); });
   for (auto r : res.rank) best = std::max<int64_t>(best, r);
@@ -64,6 +66,12 @@ unweighted_activity_result activity_unweighted_euler(std::span<const activity> a
   res.stats = depths.stats;
   res.stats.processed = n;
   return res;
+}
+
+}  // namespace
+
+unweighted_activity_result activity_unweighted_euler(std::span<const activity> acts) {
+  return euler_impl(acts, 1);
 }
 
 unweighted_activity_result activity_unweighted_parallel(std::span<const activity> acts) {
@@ -103,6 +111,24 @@ unweighted_activity_result activity_unweighted_parallel(std::span<const activity
   res.best = best;
   res.stats.processed = n;
   return res;
+}
+
+unweighted_activity_result activity_unweighted_greedy_seq(std::span<const activity> acts,
+                                                          const context& ctx) {
+  scoped_context scope(ctx);
+  return activity_unweighted_greedy_seq(acts);
+}
+
+unweighted_activity_result activity_unweighted_parallel(std::span<const activity> acts,
+                                                        const context& ctx) {
+  scoped_context scope(ctx);
+  return activity_unweighted_parallel(acts);
+}
+
+unweighted_activity_result activity_unweighted_euler(std::span<const activity> acts,
+                                                     const context& ctx) {
+  scoped_context scope(ctx);
+  return euler_impl(acts, ctx.seed);
 }
 
 }  // namespace pp

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "algos/activity.h"
+#include "core/context.h"
 #include "core/stats.h"
 
 namespace pp {
@@ -39,5 +40,14 @@ unweighted_activity_result activity_unweighted_parallel(std::span<const activity
 // Pivot-forest + Euler-tour depth computation via weighted list ranking —
 // the contraction-based O(n)-work route of Theorem 5.3. Same output.
 unweighted_activity_result activity_unweighted_euler(std::span<const activity> acts);
+
+// Context forms. The parallel variants draw their contraction seed from
+// ctx.seed.
+unweighted_activity_result activity_unweighted_greedy_seq(std::span<const activity> acts,
+                                                          const context& ctx);
+unweighted_activity_result activity_unweighted_parallel(std::span<const activity> acts,
+                                                        const context& ctx);
+unweighted_activity_result activity_unweighted_euler(std::span<const activity> acts,
+                                                     const context& ctx);
 
 }  // namespace pp

@@ -131,4 +131,16 @@ bool is_valid_coloring(const graph& g, std::span<const uint32_t> color) {
   return true;
 }
 
+coloring_result coloring_sequential(const graph& g, std::span<const uint32_t> priority,
+                                    const context& ctx) {
+  scoped_context scope(ctx);
+  return coloring_sequential(g, priority);
+}
+
+coloring_result coloring_tas(const graph& g, std::span<const uint32_t> priority,
+                             const context& ctx) {
+  scoped_context scope(ctx);
+  return coloring_tas(g, priority);
+}
+
 }  // namespace pp

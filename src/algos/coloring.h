@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/stats.h"
 #include "graph/csr.h"
 
@@ -29,6 +30,12 @@ struct coloring_result {
 
 coloring_result coloring_sequential(const graph& g, std::span<const uint32_t> priority);
 coloring_result coloring_tas(const graph& g, std::span<const uint32_t> priority);
+
+// Context forms.
+coloring_result coloring_sequential(const graph& g, std::span<const uint32_t> priority,
+                                    const context& ctx);
+coloring_result coloring_tas(const graph& g, std::span<const uint32_t> priority,
+                             const context& ctx);
 
 // No two adjacent vertices share a color.
 bool is_valid_coloring(const graph& g, std::span<const uint32_t> color);

@@ -185,4 +185,14 @@ std::vector<uint64_t> zipf_freqs(size_t n, double s, uint64_t max_f, uint64_t se
   return f;
 }
 
+huffman_result huffman_seq(std::span<const uint64_t> freqs, const context& ctx) {
+  scoped_context scope(ctx);
+  return huffman_seq(freqs);
+}
+
+huffman_result huffman_parallel(std::span<const uint64_t> freqs, const context& ctx) {
+  scoped_context scope(ctx);
+  return huffman_parallel(freqs);
+}
+
 }  // namespace pp

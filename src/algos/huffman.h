@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/stats.h"
 
 namespace pp {
@@ -36,6 +37,10 @@ inline constexpr uint32_t kNoParent = 0xFFFFFFFFu;
 // Precondition for both: freqs sorted ascending, all >= 1.
 huffman_result huffman_seq(std::span<const uint64_t> freqs);
 huffman_result huffman_parallel(std::span<const uint64_t> freqs);
+
+// Context forms.
+huffman_result huffman_seq(std::span<const uint64_t> freqs, const context& ctx);
+huffman_result huffman_parallel(std::span<const uint64_t> freqs, const context& ctx);
 
 // Code length (= leaf depth) of each input symbol, in input order. For
 // n == 1 the single symbol gets code length 0.

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/stats.h"
 
 namespace pp {
@@ -28,9 +29,13 @@ struct knapsack_result {
 
 // Classic sequential O(nW) DP.
 knapsack_result knapsack_seq(int64_t W, std::span<const knapsack_item> items);
+knapsack_result knapsack_seq(int64_t W, std::span<const knapsack_item> items,
+                             const context& ctx);
 
 // Phase-parallel windows of width w* (Theorem 4.3).
 knapsack_result knapsack_parallel(int64_t W, std::span<const knapsack_item> items);
+knapsack_result knapsack_parallel(int64_t W, std::span<const knapsack_item> items,
+                                  const context& ctx);
 
 // Random items with weights in [w_min, w_max], values in [1, v_max].
 std::vector<knapsack_item> random_items(size_t n, int64_t w_min, int64_t w_max, int64_t v_max,

@@ -35,12 +35,27 @@ lis_result lis_seq_impl(std::span<const int64_t> a, std::span<const int32_t> w) 
 
 lis_result lis_sequential(std::span<const int64_t> a) { return lis_seq_impl(a, {}); }
 
+lis_result lis_sequential(std::span<const int64_t> a, const context& ctx) {
+  scoped_context scope(ctx);
+  return lis_seq_impl(a, {});
+}
+
 lis_result lis_sequential_weighted(std::span<const int64_t> a, std::span<const int32_t> w) {
+  return lis_seq_impl(a, w);
+}
+
+lis_result lis_sequential_weighted(std::span<const int64_t> a, std::span<const int32_t> w,
+                                   const context& ctx) {
+  scoped_context scope(ctx);
   return lis_seq_impl(a, w);
 }
 
 lis_result lis_parallel(std::span<const int64_t> a, pivot_policy policy, uint64_t seed) {
   return lis_parallel_weighted(a, {}, policy, seed);
+}
+
+lis_result lis_parallel(std::span<const int64_t> a, const context& ctx) {
+  return lis_parallel_weighted(a, {}, ctx);
 }
 
 lis_result lis_parallel_weighted(std::span<const int64_t> a, std::span<const int32_t> w,
@@ -54,6 +69,12 @@ lis_result lis_parallel_weighted(std::span<const int64_t> a, std::span<const int
   res.length = dom.best;
   res.stats = dom.stats;
   return res;
+}
+
+lis_result lis_parallel_weighted(std::span<const int64_t> a, std::span<const int32_t> w,
+                                 const context& ctx) {
+  scoped_context scope(ctx);
+  return lis_parallel_weighted(a, w, ctx.pivot, ctx.seed);
 }
 
 std::vector<uint32_t> lis_reconstruct(std::span<const int64_t> a, std::span<const int32_t> dp) {

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/dominance_dp.h"
 #include "core/stats.h"
 
@@ -35,19 +36,27 @@ struct lis_result {
 
 // Classic sequential O(n log n) DP.
 lis_result lis_sequential(std::span<const int64_t> a);
+lis_result lis_sequential(std::span<const int64_t> a, const context& ctx);
 
 // Sequential weighted LIS: maximize the sum of weights over increasing
 // subsequences. O(n log n).
 lis_result lis_sequential_weighted(std::span<const int64_t> a, std::span<const int32_t> w);
+lis_result lis_sequential_weighted(std::span<const int64_t> a, std::span<const int32_t> w,
+                                   const context& ctx);
 
-// Phase-parallel LIS (Algorithm 3).
+// Phase-parallel LIS (Algorithm 3). The context form takes pivot policy
+// and seed from ctx; the positional form is the pre-context API and runs
+// under the current context.
 lis_result lis_parallel(std::span<const int64_t> a,
                         pivot_policy policy = pivot_policy::rightmost, uint64_t seed = 1);
+lis_result lis_parallel(std::span<const int64_t> a, const context& ctx);
 
 // Phase-parallel weighted LIS (weights must be positive).
 lis_result lis_parallel_weighted(std::span<const int64_t> a, std::span<const int32_t> w,
                                  pivot_policy policy = pivot_policy::rightmost,
                                  uint64_t seed = 1);
+lis_result lis_parallel_weighted(std::span<const int64_t> a, std::span<const int32_t> w,
+                                 const context& ctx);
 
 // Indices of one optimal increasing subsequence, given the dp array of the
 // *unweighted* problem. O(n).

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/stats.h"
 
 namespace pp {
@@ -33,9 +34,12 @@ inline constexpr uint32_t kListEnd = 0xFFFFFFFFu;
 
 // O(n) sequential traversal (baseline).
 list_ranking_result list_ranking_seq(std::span<const uint32_t> next);
+list_ranking_result list_ranking_seq(std::span<const uint32_t> next, const context& ctx);
 
-// Phase-parallel contraction/expansion; same output.
+// Phase-parallel contraction/expansion; same output. The context form
+// draws the contraction priorities from ctx.seed.
 list_ranking_result list_ranking_parallel(std::span<const uint32_t> next, uint64_t seed = 1);
+list_ranking_result list_ranking_parallel(std::span<const uint32_t> next, const context& ctx);
 
 struct weighted_ranking_result {
   std::vector<int64_t> rank;  // sum of weights of nodes strictly before v
@@ -47,9 +51,15 @@ struct weighted_ranking_result {
 // depth computation). Same contraction algorithm.
 weighted_ranking_result list_ranking_weighted_seq(std::span<const uint32_t> next,
                                                   std::span<const int64_t> w);
+weighted_ranking_result list_ranking_weighted_seq(std::span<const uint32_t> next,
+                                                  std::span<const int64_t> w,
+                                                  const context& ctx);
 weighted_ranking_result list_ranking_weighted_parallel(std::span<const uint32_t> next,
                                                        std::span<const int64_t> w,
                                                        uint64_t seed = 1);
+weighted_ranking_result list_ranking_weighted_parallel(std::span<const uint32_t> next,
+                                                       std::span<const int64_t> w,
+                                                       const context& ctx);
 
 // Depth of every node of a forest (roots have depth 1), via an Euler tour
 // ranked with +1/-1 weights — the standard tree-contraction route the
@@ -57,6 +67,8 @@ weighted_ranking_result list_ranking_weighted_parallel(std::span<const uint32_t>
 // work, polylog span whp.
 weighted_ranking_result forest_depths_euler(std::span<const uint32_t> parent,
                                             uint64_t seed = 1);
+weighted_ranking_result forest_depths_euler(std::span<const uint32_t> parent,
+                                            const context& ctx);
 
 // A random chain over n nodes (for tests/benches): returns next[].
 std::vector<uint32_t> random_list(size_t n, uint64_t seed);

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/stats.h"
 #include "graph/csr.h"
 
@@ -32,6 +33,12 @@ inline constexpr uint32_t kUnmatched = 0xFFFFFFFFu;
 // edges of g in the canonical (u < v, sorted) order; smaller = earlier.
 matching_result matching_sequential(const graph& g, std::span<const uint32_t> edge_priority);
 matching_result matching_rounds(const graph& g, std::span<const uint32_t> edge_priority);
+
+// Context forms.
+matching_result matching_sequential(const graph& g, std::span<const uint32_t> edge_priority,
+                                    const context& ctx);
+matching_result matching_rounds(const graph& g, std::span<const uint32_t> edge_priority,
+                                const context& ctx);
 
 // List of unique undirected edges (u < v) in the canonical order used for
 // edge priorities.

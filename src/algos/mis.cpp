@@ -198,4 +198,20 @@ bool is_maximal_independent_set(const graph& g, std::span<const uint8_t> in_mis)
   return true;
 }
 
+mis_result mis_sequential(const graph& g, std::span<const uint32_t> priority,
+                          const context& ctx) {
+  scoped_context scope(ctx);
+  return mis_sequential(g, priority);
+}
+
+mis_result mis_rounds(const graph& g, std::span<const uint32_t> priority, const context& ctx) {
+  scoped_context scope(ctx);
+  return mis_rounds(g, priority);
+}
+
+mis_result mis_tas(const graph& g, std::span<const uint32_t> priority, const context& ctx) {
+  scoped_context scope(ctx);
+  return mis_tas(g, priority);
+}
+
 }  // namespace pp

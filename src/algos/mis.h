@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/stats.h"
 #include "graph/csr.h"
 
@@ -37,6 +38,12 @@ struct mis_result {
 mis_result mis_sequential(const graph& g, std::span<const uint32_t> priority);
 mis_result mis_rounds(const graph& g, std::span<const uint32_t> priority);
 mis_result mis_tas(const graph& g, std::span<const uint32_t> priority);
+
+// Context forms.
+mis_result mis_sequential(const graph& g, std::span<const uint32_t> priority,
+                          const context& ctx);
+mis_result mis_rounds(const graph& g, std::span<const uint32_t> priority, const context& ctx);
+mis_result mis_tas(const graph& g, std::span<const uint32_t> priority, const context& ctx);
 
 // Validation helper: independent + maximal.
 bool is_maximal_independent_set(const graph& g, std::span<const uint8_t> in_mis);

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/stats.h"
 #include "graph/csr.h"
 
@@ -36,6 +37,15 @@ sssp_result sssp_dijkstra(const wgraph& g, vertex_t source);
 sssp_result sssp_bellman_ford(const wgraph& g, vertex_t source);
 sssp_result sssp_delta_stepping(const wgraph& g, vertex_t source, uint32_t delta);
 sssp_result sssp_phase_parallel(const wgraph& g, vertex_t source);
+
+// Context forms.
+sssp_result sssp_dijkstra(const wgraph& g, vertex_t source, const context& ctx);
+sssp_result sssp_bellman_ford(const wgraph& g, vertex_t source, const context& ctx);
+sssp_result sssp_delta_stepping(const wgraph& g, vertex_t source, uint32_t delta,
+                                const context& ctx);
+sssp_result sssp_phase_parallel(const wgraph& g, vertex_t source, const context& ctx);
+sssp_result sssp_crauser(const wgraph& g, vertex_t source, bool use_in_criterion,
+                         const context& ctx);
 
 // The alternative relaxed rank the paper points to (Sec. 4.3, [Crauser et
 // al. 98]): in each round settle every queued vertex v with

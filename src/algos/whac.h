@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/dominance_dp.h"
 #include "core/stats.h"
 
@@ -31,13 +32,16 @@ struct whac_result {
 
 // O(n log n) sequential DP (Fenwick over v-ranks in u order).
 whac_result whac_sequential(std::span<const mole> moles);
+whac_result whac_sequential(std::span<const mole> moles, const context& ctx);
 
 // O(n^2) reference, for testing.
 whac_result whac_bruteforce(std::span<const mole> moles);
 
-// Phase-parallel via the dominance engine.
+// Phase-parallel via the dominance engine. The context form takes pivot
+// policy and seed from ctx.
 whac_result whac_parallel(std::span<const mole> moles,
                           pivot_policy policy = pivot_policy::rightmost, uint64_t seed = 1);
+whac_result whac_parallel(std::span<const mole> moles, const context& ctx);
 
 // Random instance: moles with times in [0, t_range) and positions in
 // [0, p_range). Smaller p_range relative to t_range => deeper DP chains.

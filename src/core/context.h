@@ -1,0 +1,152 @@
+// Execution context: the single configuration surface for every
+// phase-parallel run.
+//
+// A `pp::context` bundles what used to be scattered across a process-global
+// backend flag and positional solver arguments: the parallel backend, the
+// worker count, the RNG seed, the parallel-for grain, and algorithm policy
+// knobs (currently the Type-2 pivot policy). Every solver in src/algos/
+// takes a `const context&`; `parallel_for`/`par_do` consult the *current*
+// context (api.h), so a solver that enters a `scoped_context` threads its
+// configuration through every fork underneath it without any global state
+// of its own.
+//
+// Three levels:
+//   * default_context() — mutable process-wide defaults (what `main` or a
+//     CLI flag parser edits once at startup);
+//   * current_context() — the context active for the running computation:
+//     the innermost scoped_context, or the default when none is active;
+//   * scoped_context    — RAII activation of a context for one run; solver
+//     entry points install their argument with it.
+//
+// The old `set_backend` / `scoped_backend` API is kept as thin deprecated
+// shims over the default context so existing call sites keep compiling;
+// new code should construct a context and pass it down.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "parallel/backend.h"
+
+namespace pp {
+
+// How a blocked Type-2 object picks the unfinished dominated object to
+// sleep on (core/dominance_dp.h).
+enum class pivot_policy {
+  uniform_random,  // Algorithm 3 as analyzed (Lemma 5.4/5.5)
+  rightmost,       // the heuristic used in the paper's experiments (Sec. 6.4)
+};
+
+inline const char* pivot_policy_name(pivot_policy p) {
+  return p == pivot_policy::uniform_random ? "uniform_random" : "rightmost";
+}
+
+struct context {
+  backend_kind backend = backend_kind::native;
+  unsigned workers = 0;  // 0 = backend default (pool size / omp_get_max_threads)
+  uint64_t seed = 1;     // seed for every random choice a solver makes
+  size_t grain = 0;      // parallel_for grain; 0 = auto heuristic
+  pivot_policy pivot = pivot_policy::rightmost;
+
+  // Value-style builders so call sites can derive variants in one line:
+  //   registry::run(name, in, ctx.with_backend(backend_kind::openmp))
+  context with_backend(backend_kind b) const {
+    context c = *this;
+    c.backend = b;
+    return c;
+  }
+  context with_workers(unsigned w) const {
+    context c = *this;
+    c.workers = w;
+    return c;
+  }
+  context with_seed(uint64_t s) const {
+    context c = *this;
+    c.seed = s;
+    return c;
+  }
+  context with_grain(size_t g) const {
+    context c = *this;
+    c.grain = g;
+    return c;
+  }
+  context with_pivot(pivot_policy p) const {
+    context c = *this;
+    c.pivot = p;
+    return c;
+  }
+};
+
+// Process-wide defaults; mutable so startup code can configure them once.
+inline context& default_context() {
+  static context c;
+  return c;
+}
+
+namespace detail {
+// The active context is held by shared_ptr so that interleaved or
+// concurrent scopes can never restore a pointer into a dead stack frame:
+// worst case two racing top-level runs observe each other's context (the
+// same last-writer-wins semantics the old atomic backend flag had), never
+// undefined behavior.
+inline std::atomic<std::shared_ptr<const context>>& current_context_slot() {
+  static std::atomic<std::shared_ptr<const context>> p{nullptr};
+  return p;
+}
+}  // namespace detail
+
+// A snapshot of the context governing the running computation: the
+// innermost active scoped_context, or the process defaults when none is
+// active.
+inline context current_context() {
+  std::shared_ptr<const context> p =
+      detail::current_context_slot().load(std::memory_order_acquire);
+  return p ? *p : default_context();
+}
+
+// RAII activation: while alive, current_context() returns (a copy of) `c`.
+// Solver entry points install their context argument with this so that
+// every parallel_for/par_do they reach runs under it. Like the old backend
+// flag, activation is process-wide, not per-thread: fork-join workers must
+// observe the caller's context. Concurrent top-level runs racing on scopes
+// may observe each other's configuration (prefer passing contexts
+// explicitly), but the slot always points at live storage.
+class scoped_context {
+ public:
+  explicit scoped_context(const context& c)
+      : saved_(detail::current_context_slot().exchange(std::make_shared<const context>(c),
+                                                       std::memory_order_acq_rel)) {}
+  ~scoped_context() {
+    detail::current_context_slot().store(std::move(saved_), std::memory_order_release);
+  }
+
+  scoped_context(const scoped_context&) = delete;
+  scoped_context& operator=(const scoped_context&) = delete;
+
+ private:
+  std::shared_ptr<const context> saved_;
+};
+
+// ---- Deprecated shims over the default context ------------------------------
+//
+// Pre-context API. `set_backend` edits the process defaults; `scoped_backend`
+// is a scoped_context that only overrides the backend. Prefer passing a
+// context explicitly.
+
+inline backend_kind get_backend() { return current_context().backend; }
+
+inline void set_backend(backend_kind b) { default_context().backend = b; }
+
+class scoped_backend {
+ public:
+  explicit scoped_backend(backend_kind b) : scope_(current_context().with_backend(b)) {}
+  scoped_backend(const scoped_backend&) = delete;
+  scoped_backend& operator=(const scoped_backend&) = delete;
+
+ private:
+  scoped_context scope_;
+};
+
+}  // namespace pp

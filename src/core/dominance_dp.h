@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "core/context.h"
 #include "core/stats.h"
 #include "pabst/multimap.h"
 #include "parallel/primitives.h"
@@ -37,11 +38,7 @@
 #include "rangetree/range_tree2d.h"
 
 namespace pp {
-
-enum class pivot_policy {
-  uniform_random,  // Algorithm 3 as analyzed (Lemma 5.4/5.5)
-  rightmost,       // the heuristic used in the paper's experiments (Sec. 6.4)
-};
+// pivot_policy lives in core/context.h so that a context can carry it.
 
 struct dominance_result {
   std::vector<int32_t> dp;  // dp value per object
@@ -138,6 +135,15 @@ inline dominance_result dominance_dp(std::span<const uint32_t> y_ranks,
   if (policy == pivot_policy::uniform_random)
     return detail::dominance_dp_impl<dom_agg_random>(y_ranks, qx, weights, seed);
   return detail::dominance_dp_impl<dom_agg_rightmost>(y_ranks, qx, weights, seed);
+}
+
+// Context form: pivot policy and seed come from ctx, and the whole solve
+// runs under it.
+inline dominance_result dominance_dp(std::span<const uint32_t> y_ranks,
+                                     std::span<const uint32_t> qx,
+                                     std::span<const int32_t> weights, const context& ctx) {
+  scoped_context scope(ctx);
+  return dominance_dp(y_ranks, qx, weights, ctx.pivot, ctx.seed);
 }
 
 }  // namespace pp

@@ -1,0 +1,164 @@
+// String-keyed solver registry: one dispatch surface for every
+// phase-parallel algorithm in the library.
+//
+//   auto in  = pp::registry::instance().make_input("lis", 100'000, /*seed=*/1);
+//   auto res = pp::registry::run("lis/parallel", in, ctx);
+//   // res.value holds a lis_result; res.stats/seconds/backend are uniform.
+//
+// Solvers are registered under "problem/variant" names ("mis/tas",
+// "sssp/delta_stepping", ...). Inputs are per-problem descriptor structs
+// collected in the `problem_input` variant, so benches, examples, the
+// tests, and tools/ppdriver.cpp all build and dispatch workloads the same
+// way. Each problem also registers a default input factory (a random
+// instance of size n from a seed) for uniform driving from the CLI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "algos/activity.h"
+#include "algos/activity_unweighted.h"
+#include "algos/coloring.h"
+#include "algos/huffman.h"
+#include "algos/knapsack.h"
+#include "algos/lis.h"
+#include "algos/list_ranking.h"
+#include "algos/matching.h"
+#include "algos/mis.h"
+#include "algos/random_shuffle.h"
+#include "algos/sssp.h"
+#include "algos/whac.h"
+#include "core/context.h"
+#include "core/result.h"
+#include "graph/csr.h"
+
+namespace pp {
+
+// ---- Per-problem input descriptors ------------------------------------------
+
+struct sequence_input {  // problem "lis": LIS / weighted LIS
+  std::vector<int64_t> a;
+  std::vector<int32_t> weights;  // empty = unit weights
+};
+
+struct activity_input {  // problem "activity": weighted + unweighted selection
+  std::vector<activity> acts;  // sorted by sort_activities()
+};
+
+struct graph_input {  // problem "graph": MIS, coloring, matching
+  graph g;
+  std::vector<uint32_t> vertex_priority;  // permutation of 0..n-1
+  std::vector<uint32_t> edge_priority;    // permutation of 0..m-1 (canonical edge order)
+};
+
+struct sssp_input {  // problem "sssp"
+  wgraph g;
+  vertex_t source = 0;
+  uint32_t delta = 0;  // 0 = let delta-stepping pick min edge weight
+};
+
+struct huffman_input {  // problem "huffman"
+  std::vector<uint64_t> freqs;  // sorted ascending, all >= 1
+};
+
+struct knapsack_input {  // problem "knapsack"
+  int64_t capacity = 0;
+  std::vector<knapsack_item> items;
+};
+
+struct list_input {  // problem "list": list ranking (weighted when weights set)
+  std::vector<uint32_t> next;
+  std::vector<int64_t> weights;  // empty = unweighted ranking
+};
+
+struct shuffle_input {  // problem "shuffle": parallel Knuth shuffle
+  size_t n = 0;
+  std::vector<uint32_t> targets;  // H[i] in [0, i]
+};
+
+struct whac_input {  // problem "whac": Whac-A-Mole dominance DP
+  std::vector<mole> moles;
+};
+
+using problem_input =
+    std::variant<sequence_input, activity_input, graph_input, sssp_input, huffman_input,
+                 knapsack_input, list_input, shuffle_input, whac_input>;
+
+// ---- Type-erased solver payload ---------------------------------------------
+
+using solver_value =
+    std::variant<lis_result, activity_result, unweighted_activity_result, mis_result,
+                 coloring_result, matching_result, sssp_result, huffman_result,
+                 knapsack_result, list_ranking_result, weighted_ranking_result,
+                 shuffle_result, whac_result>;
+
+// Every payload carries phase statistics; extract them uniformly.
+phase_stats stats_of(const solver_value& v);
+
+// A canonical scalar answer per payload (LIS length, |MIS|, best weight,
+// weighted path length, ...) for quick cross-checks and CLI output.
+int64_t score_of(const solver_value& v);
+
+// One-line human-readable summary of the payload.
+std::string summary_of(const solver_value& v);
+
+// ---- The registry -----------------------------------------------------------
+
+struct solver_info {
+  std::string name;         // "lis/parallel"
+  std::string problem;      // "lis" — which problem_input alternative it consumes
+  std::string description;  // one line
+};
+
+class registry {
+ public:
+  using solver_fn = std::function<solver_value(const problem_input&, const context&)>;
+  using input_fn = std::function<problem_input(size_t n, uint64_t seed)>;
+
+  struct problem_info {
+    std::string name;
+    std::string description;
+  };
+
+  // The process-wide registry, with all built-in solvers registered.
+  static registry& instance();
+
+  void add_solver(solver_info info, solver_fn fn);
+  void add_problem(std::string name, std::string description, input_fn make);
+
+  bool contains(std::string_view name) const;
+  std::vector<solver_info> solvers() const;    // sorted by name
+  std::vector<problem_info> problems() const;  // sorted by name
+
+  // Default random instance of a problem (size n, derived from seed).
+  problem_input make_input(std::string_view problem, size_t n, uint64_t seed) const;
+
+  // Look up `name`, run it on `input` under `ctx`, and wrap payload +
+  // stats + timing in a run_result. Throws std::out_of_range for unknown
+  // solvers and std::invalid_argument when `input` holds the wrong
+  // alternative for the solver's problem.
+  static run_result<solver_value> run(std::string_view name, const problem_input& input,
+                                      const context& ctx = default_context());
+
+ private:
+  registry() = default;
+
+  struct solver_entry {
+    solver_info info;
+    solver_fn fn;
+  };
+  struct problem_entry {
+    problem_info info;
+    input_fn make;
+  };
+
+  std::map<std::string, solver_entry, std::less<>> solvers_;
+  std::map<std::string, problem_entry, std::less<>> problems_;
+};
+
+}  // namespace pp

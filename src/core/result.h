@@ -1,0 +1,51 @@
+// Uniform result envelope for every solver run.
+//
+// `run_result<T>` wraps a solver's typed payload (lis_result, sssp_result,
+// ...) together with the cross-cutting facts every caller wants: the phase
+// statistics, wall-clock time, and the context facts (backend, seed) the
+// run was executed under. The registry (core/registry.h) returns these for
+// every dispatch; `run_timed` builds one around any direct solver call.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "core/context.h"
+#include "core/stats.h"
+#include "parallel/backend.h"
+
+namespace pp {
+
+template <typename T>
+struct run_result {
+  T value{};             // the solver's own result struct
+  phase_stats stats{};   // copied out of value.stats when present
+  double seconds = 0.0;  // wall-clock time of the solver call
+  backend_kind backend = backend_kind::native;  // backend the run used
+  uint64_t seed = 0;                            // seed the run used
+  std::string solver;                           // registry name, e.g. "lis/parallel"
+};
+
+// Run fn(ctx) under `ctx` (fn must accept a const context&), time it, and
+// wrap the result. If the payload has a `.stats` member it is mirrored
+// into the envelope.
+template <typename F>
+auto run_timed(std::string solver, const context& ctx, F&& fn)
+    -> run_result<std::decay_t<decltype(fn(ctx))>> {
+  run_result<std::decay_t<decltype(fn(ctx))>> out;
+  out.solver = std::move(solver);
+  out.backend = ctx.backend;
+  out.seed = ctx.seed;
+  auto t0 = std::chrono::steady_clock::now();
+  out.value = fn(ctx);
+  auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  if constexpr (requires(std::decay_t<decltype(fn(ctx))> v) { v.stats; }) {
+    out.stats = out.value.stats;
+  }
+  return out;
+}
+
+}  // namespace pp

@@ -3,6 +3,12 @@
 // These are the only two control primitives the rest of the library uses;
 // everything else (reduce, scan, sort, the phase-parallel runners) is built
 // on top of them, mirroring the binary-forking model of the paper (Sec. 2).
+//
+// Both come in two forms: an explicit-context overload
+// (`parallel_for(ctx, lo, hi, f)`) and a convenience form that runs under
+// pp::current_context(). Solvers install their context argument with
+// scoped_context at entry, so either form observes the right backend,
+// worker count, and grain.
 #pragma once
 
 #include <omp.h>
@@ -10,22 +16,30 @@
 #include <cstddef>
 #include <utility>
 
+#include "core/context.h"
 #include "parallel/backend.h"
 #include "parallel/scheduler.h"
 
 namespace pp {
 
-inline unsigned num_workers() {
-  switch (get_backend()) {
+inline unsigned num_workers(const context& ctx) {
+  switch (ctx.backend) {
     case backend_kind::sequential:
       return 1;
     case backend_kind::openmp:
-      return static_cast<unsigned>(omp_get_max_threads());
+      return ctx.workers != 0 ? ctx.workers
+                              : static_cast<unsigned>(omp_get_max_threads());
     case backend_kind::native:
-    default:
-      return detail::work_stealing_pool::instance().num_workers();
+    default: {
+      unsigned pool = detail::work_stealing_pool::instance().num_workers();
+      // The pool is sized at first use; a context cannot grow it, only
+      // advise a smaller effective width.
+      return (ctx.workers != 0 && ctx.workers < pool) ? ctx.workers : pool;
+    }
   }
 }
+
+inline unsigned num_workers() { return num_workers(current_context()); }
 
 namespace detail {
 
@@ -51,11 +65,12 @@ void par_do_omp_inner(L&& left, R&& right) {
 }
 
 template <typename L, typename R>
-void par_do_omp(L&& left, R&& right) {
+void par_do_omp(L&& left, R&& right, unsigned workers) {
   if (omp_in_parallel()) {
     par_do_omp_inner(left, right);
   } else {
-#pragma omp parallel default(shared)
+    int nt = workers != 0 ? static_cast<int>(workers) : omp_get_max_threads();
+#pragma omp parallel default(shared) num_threads(nt)
 #pragma omp single nowait
     par_do_omp_inner(left, right);
   }
@@ -66,20 +81,25 @@ void par_do_omp(L&& left, R&& right) {
 // Run `left` and `right`, potentially in parallel; returns when both are
 // done (a binary fork).
 template <typename L, typename R>
-void par_do(L&& left, R&& right) {
-  switch (get_backend()) {
+void par_do(const context& ctx, L&& left, R&& right) {
+  switch (ctx.backend) {
     case backend_kind::sequential:
       left();
       right();
       break;
     case backend_kind::openmp:
-      detail::par_do_omp(std::forward<L>(left), std::forward<R>(right));
+      detail::par_do_omp(std::forward<L>(left), std::forward<R>(right), ctx.workers);
       break;
     case backend_kind::native:
     default:
       detail::par_do_native(std::forward<L>(left), std::forward<R>(right));
       break;
   }
+}
+
+template <typename L, typename R>
+void par_do(L&& left, R&& right) {
+  par_do(current_context(), std::forward<L>(left), std::forward<R>(right));
 }
 
 namespace detail {
@@ -95,45 +115,65 @@ inline size_t auto_grain(size_t n, unsigned workers) {
 }
 
 template <typename F>
-void parallel_for_rec(size_t lo, size_t hi, F& f, size_t grain) {
+void parallel_for_rec(const context& ctx, size_t lo, size_t hi, F& f, size_t grain) {
   if (hi - lo <= grain) {
     for (size_t i = lo; i < hi; ++i) f(i);
     return;
   }
   size_t mid = lo + (hi - lo) / 2;
-  par_do([&] { parallel_for_rec(lo, mid, f, grain); },
-         [&] { parallel_for_rec(mid, hi, f, grain); });
+  par_do(
+      ctx, [&] { parallel_for_rec(ctx, lo, mid, f, grain); },
+      [&] { parallel_for_rec(ctx, mid, hi, f, grain); });
 }
 
 }  // namespace detail
 
-// Apply f(i) for i in [lo, hi). `grain` = 0 lets the library pick.
+// Apply f(i) for i in [lo, hi). `grain` = 0 defers to ctx.grain, then to
+// the auto heuristic.
 template <typename F>
-void parallel_for(size_t lo, size_t hi, F f, size_t grain = 0) {
+void parallel_for(const context& ctx, size_t lo, size_t hi, F f, size_t grain = 0) {
   if (hi <= lo) return;
   size_t n = hi - lo;
-  switch (get_backend()) {
+  if (grain == 0) grain = ctx.grain;
+  switch (ctx.backend) {
     case backend_kind::sequential: {
       for (size_t i = lo; i < hi; ++i) f(i);
       return;
     }
     case backend_kind::openmp: {
       if (omp_in_parallel()) {
-        // Nested: fall back to a serial loop rather than oversubscribing.
-        for (size_t i = lo; i < hi; ++i) f(i);
+        // Nested inside an OpenMP region (e.g. a parallel_for body that
+        // itself forks): recursive binary splitting over OpenMP tasks, the
+        // same shape as the native backend. The old behavior — silently
+        // serializing the nested loop — destroyed the span bounds of every
+        // algorithm with nested parallelism.
+        if (grain == 0) grain = detail::auto_grain(n, num_workers(ctx));
+        detail::parallel_for_rec(ctx, lo, hi, f, grain);
       } else {
-#pragma omp parallel for schedule(guided)
-        for (size_t i = lo; i < hi; ++i) f(i);
+        int nt = ctx.workers != 0 ? static_cast<int>(ctx.workers) : omp_get_max_threads();
+        if (grain > 0) {
+          // honor an explicit grain (argument or ctx.grain) as the chunk size
+#pragma omp parallel for schedule(dynamic, static_cast<int>(grain)) num_threads(nt)
+          for (size_t i = lo; i < hi; ++i) f(i);
+        } else {
+#pragma omp parallel for schedule(guided) num_threads(nt)
+          for (size_t i = lo; i < hi; ++i) f(i);
+        }
       }
       return;
     }
     case backend_kind::native:
     default: {
-      if (grain == 0) grain = detail::auto_grain(n, num_workers());
-      detail::parallel_for_rec(lo, hi, f, grain);
+      if (grain == 0) grain = detail::auto_grain(n, num_workers(ctx));
+      detail::parallel_for_rec(ctx, lo, hi, f, grain);
       return;
     }
   }
+}
+
+template <typename F>
+void parallel_for(size_t lo, size_t hi, F f, size_t grain = 0) {
+  parallel_for(current_context(), lo, hi, std::move(f), grain);
 }
 
 }  // namespace pp

@@ -1,4 +1,4 @@
-// Runtime-selectable parallel backend.
+// Parallel backend kinds.
 //
 // The paper's computational model is the binary-forking model (Sec. 2): a
 // thread may fork two children and is suspended until both finish. The
@@ -6,9 +6,14 @@
 // (scheduler.h). The OpenMP backend maps forks onto OpenMP tasks, and the
 // sequential backend runs everything serially (useful for debugging and as
 // the 1-thread baseline when measuring self-speedup).
+//
+// Which backend a computation uses is carried by pp::context
+// (core/context.h); this header only defines the enumeration and its
+// string names so it can be included anywhere without pulling in the
+// context machinery.
 #pragma once
 
-#include <atomic>
+#include <optional>
 #include <string_view>
 
 namespace pp {
@@ -19,21 +24,6 @@ enum class backend_kind {
   sequential,  // serial execution of every fork
 };
 
-namespace detail {
-inline std::atomic<backend_kind>& backend_flag() {
-  static std::atomic<backend_kind> flag{backend_kind::native};
-  return flag;
-}
-}  // namespace detail
-
-inline backend_kind get_backend() {
-  return detail::backend_flag().load(std::memory_order_relaxed);
-}
-
-inline void set_backend(backend_kind b) {
-  detail::backend_flag().store(b, std::memory_order_relaxed);
-}
-
 inline std::string_view backend_name(backend_kind b) {
   switch (b) {
     case backend_kind::native: return "native";
@@ -43,16 +33,13 @@ inline std::string_view backend_name(backend_kind b) {
   return "unknown";
 }
 
-// RAII guard for temporarily switching backend (used by tests/benches).
-class scoped_backend {
- public:
-  explicit scoped_backend(backend_kind b) : saved_(get_backend()) { set_backend(b); }
-  ~scoped_backend() { set_backend(saved_); }
-  scoped_backend(const scoped_backend&) = delete;
-  scoped_backend& operator=(const scoped_backend&) = delete;
-
- private:
-  backend_kind saved_;
-};
+// Parse a backend name ("native", "openmp", "sequential"; "seq" accepted
+// as shorthand). Used by the CLI driver and env-var plumbing.
+inline std::optional<backend_kind> parse_backend(std::string_view s) {
+  if (s == "native") return backend_kind::native;
+  if (s == "openmp" || s == "omp") return backend_kind::openmp;
+  if (s == "sequential" || s == "seq") return backend_kind::sequential;
+  return std::nullopt;
+}
 
 }  // namespace pp

@@ -1,0 +1,169 @@
+// Tests for the execution-context API (core/context.h + the context
+// overloads of par_do/parallel_for in parallel/api.h): scoping semantics,
+// the deprecated backend shims, and the OpenMP nested-parallel_for fix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/context.h"
+#include "parallel/api.h"
+
+namespace {
+
+using pp::backend_kind;
+using pp::context;
+
+TEST(Context, Defaults) {
+  context c;
+  EXPECT_EQ(c.backend, backend_kind::native);
+  EXPECT_EQ(c.workers, 0u);
+  EXPECT_EQ(c.seed, 1u);
+  EXPECT_EQ(c.grain, 0u);
+  EXPECT_EQ(c.pivot, pp::pivot_policy::rightmost);
+}
+
+TEST(Context, WithBuilders) {
+  context c;
+  context d = c.with_backend(backend_kind::openmp)
+                  .with_workers(3)
+                  .with_seed(42)
+                  .with_grain(128)
+                  .with_pivot(pp::pivot_policy::uniform_random);
+  EXPECT_EQ(d.backend, backend_kind::openmp);
+  EXPECT_EQ(d.workers, 3u);
+  EXPECT_EQ(d.seed, 42u);
+  EXPECT_EQ(d.grain, 128u);
+  EXPECT_EQ(d.pivot, pp::pivot_policy::uniform_random);
+  // the source context is untouched
+  EXPECT_EQ(c.backend, backend_kind::native);
+  EXPECT_EQ(c.seed, 1u);
+}
+
+TEST(Context, ScopedContextActivatesAndRestores) {
+  // With no scope active, current_context snapshots the process defaults.
+  pp::default_context().seed = 999;
+  EXPECT_EQ(pp::current_context().seed, 999u);
+  {
+    pp::scoped_context outer(context{}.with_seed(7));
+    EXPECT_EQ(pp::current_context().seed, 7u);
+    {
+      pp::scoped_context inner(pp::current_context().with_backend(backend_kind::sequential));
+      EXPECT_EQ(pp::current_context().seed, 7u);
+      EXPECT_EQ(pp::current_context().backend, backend_kind::sequential);
+    }
+    EXPECT_EQ(pp::current_context().seed, 7u);
+    EXPECT_EQ(pp::current_context().backend, backend_kind::native);
+  }
+  EXPECT_EQ(pp::current_context().seed, 999u);
+  pp::default_context().seed = 1;
+  EXPECT_EQ(pp::current_context().seed, 1u);
+}
+
+TEST(Context, DeprecatedShimsReflectDefaultContext) {
+  EXPECT_EQ(pp::get_backend(), pp::default_context().backend);
+  pp::set_backend(backend_kind::sequential);
+  EXPECT_EQ(pp::get_backend(), backend_kind::sequential);
+  EXPECT_EQ(pp::default_context().backend, backend_kind::sequential);
+  pp::set_backend(backend_kind::native);
+  EXPECT_EQ(pp::get_backend(), backend_kind::native);
+
+  {
+    pp::scoped_backend sb(backend_kind::openmp);
+    EXPECT_EQ(pp::get_backend(), backend_kind::openmp);
+    EXPECT_EQ(pp::current_context().backend, backend_kind::openmp);
+    // the default is untouched; only the current scope changed
+    EXPECT_EQ(pp::default_context().backend, backend_kind::native);
+  }
+  EXPECT_EQ(pp::get_backend(), backend_kind::native);
+}
+
+class ContextBackends : public ::testing::TestWithParam<backend_kind> {};
+
+TEST_P(ContextBackends, ParallelForExplicitContext) {
+  context ctx = context{}.with_backend(GetParam());
+  constexpr size_t n = 50'000;
+  std::vector<int64_t> out(n, 0);
+  pp::parallel_for(ctx, 0, n, [&](size_t i) { out[i] = static_cast<int64_t>(3 * i + 1); });
+  for (size_t i = 0; i < n; i += 997) EXPECT_EQ(out[i], static_cast<int64_t>(3 * i + 1));
+  EXPECT_EQ(out[n - 1], static_cast<int64_t>(3 * (n - 1) + 1));
+}
+
+TEST_P(ContextBackends, ParDoExplicitContext) {
+  context ctx = context{}.with_backend(GetParam());
+  int a = 0, b = 0;
+  pp::par_do(ctx, [&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST_P(ContextBackends, NestedParallelForIsCorrect) {
+  // Nested parallelism: outer rows x inner cols. Under OpenMP the inner
+  // loops used to silently serialize; now they run as tasks. All backends
+  // must produce the identical matrix.
+  context ctx = context{}.with_backend(GetParam());
+  constexpr size_t rows = 64, cols = 2'000;
+  std::vector<uint32_t> m(rows * cols, 0);
+  std::atomic<size_t> writes{0};
+  pp::parallel_for(ctx, 0, rows, [&](size_t r) {
+    pp::parallel_for(0, cols, [&](size_t c) {
+      m[r * cols + c] = static_cast<uint32_t>(r * 31 + c * 7);
+      writes.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(writes.load(), rows * cols);
+  for (size_t r = 0; r < rows; r += 13)
+    for (size_t c = 0; c < cols; c += 499)
+      EXPECT_EQ(m[r * cols + c], static_cast<uint32_t>(r * 31 + c * 7));
+}
+
+TEST_P(ContextBackends, ScopedContextThreadsBackendIntoImplicitCalls) {
+  context ctx = context{}.with_backend(GetParam());
+  pp::scoped_context scope(ctx);
+  EXPECT_EQ(pp::get_backend(), GetParam());
+  constexpr size_t n = 10'000;
+  std::vector<int> out(n, 0);
+  pp::parallel_for(0, n, [&](size_t i) { out[i] = static_cast<int>(i % 17); });
+  for (size_t i = 0; i < n; i += 37) EXPECT_EQ(out[i], static_cast<int>(i % 17));
+}
+
+TEST_P(ContextBackends, GrainOverrideStillCorrect) {
+  context ctx = context{}.with_backend(GetParam()).with_grain(1'000'000);  // one chunk
+  constexpr size_t n = 20'000;
+  std::vector<int> out(n, 0);
+  pp::parallel_for(ctx, 0, n, [&](size_t i) { out[i] = 1; });
+  size_t sum = 0;
+  for (auto v : out) sum += static_cast<size_t>(v);
+  EXPECT_EQ(sum, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ContextBackends,
+                         ::testing::Values(backend_kind::sequential, backend_kind::openmp,
+                                           backend_kind::native),
+                         [](const auto& info) {
+                           return std::string(pp::backend_name(info.param));
+                         });
+
+TEST(Context, NumWorkers) {
+  EXPECT_EQ(pp::num_workers(context{}.with_backend(backend_kind::sequential)), 1u);
+  EXPECT_EQ(pp::num_workers(context{}.with_backend(backend_kind::openmp).with_workers(3)), 3u);
+  EXPECT_GE(pp::num_workers(context{}.with_backend(backend_kind::native)), 1u);
+  // advisory cap: never above the pool size, never zero
+  unsigned pool = pp::num_workers(context{}.with_backend(backend_kind::native));
+  EXPECT_EQ(pp::num_workers(context{}.with_backend(backend_kind::native).with_workers(1)), 1u);
+  EXPECT_EQ(
+      pp::num_workers(context{}.with_backend(backend_kind::native).with_workers(pool + 100)),
+      pool);
+}
+
+TEST(Context, ParseBackend) {
+  EXPECT_EQ(pp::parse_backend("native"), backend_kind::native);
+  EXPECT_EQ(pp::parse_backend("openmp"), backend_kind::openmp);
+  EXPECT_EQ(pp::parse_backend("omp"), backend_kind::openmp);
+  EXPECT_EQ(pp::parse_backend("sequential"), backend_kind::sequential);
+  EXPECT_EQ(pp::parse_backend("seq"), backend_kind::sequential);
+  EXPECT_FALSE(pp::parse_backend("tbb").has_value());
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Tests for the solver registry (core/registry.h): every algorithm in
+// src/algos/ is reachable through pp::registry::run, inputs come from the
+// per-problem factories, the run_result envelope is filled in, and all
+// solvers of one problem agree on the answer.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+
+namespace {
+
+using pp::registry;
+
+const std::vector<std::string> kExpectedSolvers = {
+    "activity/sequential",
+    "activity/type1",
+    "activity/type1_flat",
+    "activity/type2",
+    "activity_unweighted/euler",
+    "activity_unweighted/parallel",
+    "activity_unweighted/sequential",
+    "coloring/sequential",
+    "coloring/tas",
+    "huffman/parallel",
+    "huffman/sequential",
+    "knapsack/parallel",
+    "knapsack/sequential",
+    "lis/parallel",
+    "lis/sequential",
+    "list_ranking/parallel",
+    "list_ranking/sequential",
+    "matching/rounds",
+    "matching/sequential",
+    "mis/rounds",
+    "mis/sequential",
+    "mis/tas",
+    "shuffle/parallel",
+    "shuffle/sequential",
+    "sssp/bellman_ford",
+    "sssp/crauser",
+    "sssp/delta_stepping",
+    "sssp/dijkstra",
+    "sssp/phase_parallel",
+    "whac/parallel",
+    "whac/sequential",
+};
+
+TEST(Registry, AllBuiltinSolversRegistered) {
+  std::set<std::string> names;
+  for (const auto& s : registry::instance().solvers()) {
+    names.insert(s.name);
+    EXPECT_FALSE(s.problem.empty()) << s.name;
+    EXPECT_FALSE(s.description.empty()) << s.name;
+  }
+  for (const auto& want : kExpectedSolvers)
+    EXPECT_TRUE(names.count(want)) << "missing solver: " << want;
+}
+
+TEST(Registry, ProblemsRegistered) {
+  std::set<std::string> names;
+  for (const auto& p : registry::instance().problems()) names.insert(p.name);
+  for (const char* want :
+       {"lis", "activity", "graph", "sssp", "huffman", "knapsack", "list", "shuffle", "whac"})
+    EXPECT_TRUE(names.count(want)) << "missing problem: " << want;
+}
+
+TEST(Registry, UnknownSolverThrows) {
+  auto in = registry::instance().make_input("lis", 100, 1);
+  EXPECT_THROW(registry::run("lis/no_such_variant", in), std::out_of_range);
+  EXPECT_THROW(registry::instance().make_input("no_such_problem", 100, 1), std::out_of_range);
+}
+
+TEST(Registry, WrongInputAlternativeThrows) {
+  auto in = registry::instance().make_input("huffman", 100, 1);
+  EXPECT_THROW(registry::run("lis/parallel", in), std::invalid_argument);
+  EXPECT_THROW(registry::run("mis/tas", in), std::invalid_argument);
+}
+
+TEST(Registry, EnvelopeIsFilled) {
+  auto in = registry::instance().make_input("lis", 2'000, 5);
+  pp::context ctx = pp::context{}.with_backend(pp::backend_kind::openmp).with_seed(5);
+  auto res = registry::run("lis/parallel", in, ctx);
+  EXPECT_EQ(res.solver, "lis/parallel");
+  EXPECT_EQ(res.backend, pp::backend_kind::openmp);
+  EXPECT_EQ(res.seed, 5u);
+  EXPECT_GE(res.seconds, 0.0);
+  EXPECT_GT(res.stats.rounds, 0u);
+  // the envelope stats mirror the payload stats
+  EXPECT_EQ(res.stats.rounds, pp::stats_of(res.value).rounds);
+  const auto& lis = std::get<pp::lis_result>(res.value);
+  EXPECT_GT(lis.length, 0);
+  EXPECT_EQ(pp::score_of(res.value), lis.length);
+  EXPECT_FALSE(pp::summary_of(res.value).empty());
+}
+
+TEST(Registry, ParallelLisMatchesSequentialPayload) {
+  auto in = registry::instance().make_input("lis", 3'000, 11);
+  auto seq = registry::run("lis/sequential", in);
+  auto par = registry::run("lis/parallel", in);
+  const auto& s = std::get<pp::lis_result>(seq.value);
+  const auto& p = std::get<pp::lis_result>(par.value);
+  EXPECT_EQ(s.dp, p.dp);
+  EXPECT_EQ(s.length, p.length);
+}
+
+// Every solver of one problem computes the same canonical score on the
+// same input — the cross-implementation contract the paper's Sec. 5/6
+// claims, enforced through the registry.
+TEST(Registry, AllSolversOfAProblemAgree) {
+  const std::map<std::string, size_t> problem_sizes = {
+      {"lis", 2'000},   {"activity", 2'000}, {"graph", 1'500},   {"sssp", 1'500},
+      {"huffman", 2'000}, {"knapsack", 2'000}, {"list", 2'000},    {"shuffle", 2'000},
+      {"whac", 1'500},
+  };
+  const std::vector<std::vector<std::string>> groups = {
+      {"lis/sequential", "lis/parallel"},
+      {"activity/sequential", "activity/type1", "activity/type1_flat", "activity/type2"},
+      {"activity_unweighted/sequential", "activity_unweighted/parallel",
+       "activity_unweighted/euler"},
+      {"mis/sequential", "mis/rounds", "mis/tas"},
+      {"coloring/sequential", "coloring/tas"},
+      {"matching/sequential", "matching/rounds"},
+      {"sssp/dijkstra", "sssp/bellman_ford", "sssp/delta_stepping", "sssp/phase_parallel",
+       "sssp/crauser"},
+      {"huffman/sequential", "huffman/parallel"},
+      {"knapsack/sequential", "knapsack/parallel"},
+      {"list_ranking/sequential", "list_ranking/parallel"},
+      {"shuffle/sequential", "shuffle/parallel"},
+      {"whac/sequential", "whac/parallel"},
+  };
+
+  auto& reg = registry::instance();
+  std::map<std::string, pp::problem_input> inputs;
+  for (const auto& [problem, n] : problem_sizes)
+    inputs.emplace(problem, reg.make_input(problem, n, 3));
+
+  std::map<std::string, std::string> problem_of;
+  for (const auto& s : reg.solvers()) problem_of[s.name] = s.problem;
+
+  for (const auto& group : groups) {
+    ASSERT_FALSE(group.empty());
+    const auto& input = inputs.at(problem_of.at(group[0]));
+    int64_t reference = 0;
+    for (size_t i = 0; i < group.size(); ++i) {
+      auto res = registry::run(group[i], input);
+      int64_t score = pp::score_of(res.value);
+      if (i == 0) {
+        reference = score;
+      } else {
+        EXPECT_EQ(score, reference) << group[i] << " disagrees with " << group[0];
+      }
+    }
+  }
+}
+
+TEST(Registry, EveryRegisteredSolverRunsOnItsDefaultInput) {
+  auto& reg = registry::instance();
+  std::map<std::string, pp::problem_input> inputs;
+  for (const auto& s : reg.solvers()) {
+    if (!inputs.count(s.problem)) inputs.emplace(s.problem, reg.make_input(s.problem, 500, 9));
+    auto res = registry::run(s.name, inputs.at(s.problem));
+    EXPECT_EQ(res.solver, s.name);
+    EXPECT_GE(res.seconds, 0.0) << s.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// ppdriver: registry-driven CLI for every solver in the library.
+//
+//   ppdriver list                      # all solvers (name, problem, description)
+//   ppdriver problems                  # all problems + default input descriptors
+//   ppdriver run <solver> [options]    # generate an input, run, print the envelope
+//
+// run options:
+//   --n N              input size (default 100000)
+//   --seed S           input + execution seed (default 1)
+//   --backend B        native | openmp | sequential   (default: process default)
+//   --workers W        worker count (0 = backend default)
+//   --grain G          parallel_for grain (0 = auto)
+//   --pivot P          rightmost | random   (Type-2 pivot policy)
+//   --repeats R        run R times, report min/mean seconds (default 1)
+//
+// Example:
+//   ppdriver run lis/parallel --n 1000000 --backend openmp --workers 8
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s list | problems | run <solver> [--n N] [--seed S] [--backend B]\n"
+               "       [--workers W] [--grain G] [--pivot rightmost|random] [--repeats R]\n",
+               argv0);
+  return 2;
+}
+
+int cmd_list() {
+  std::printf("%-32s %-10s %s\n", "solver", "problem", "description");
+  for (const auto& s : pp::registry::instance().solvers())
+    std::printf("%-32s %-10s %s\n", s.name.c_str(), s.problem.c_str(), s.description.c_str());
+  return 0;
+}
+
+int cmd_problems() {
+  std::printf("%-10s %s\n", "problem", "default input");
+  for (const auto& p : pp::registry::instance().problems())
+    std::printf("%-10s %s\n", p.name.c_str(), p.description.c_str());
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  std::string solver = argv[2];
+  size_t n = 100'000;
+  int repeats = 1;
+  pp::context ctx = pp::default_context();
+
+  for (int i = 3; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--n") == 0) {
+      n = static_cast<size_t>(std::strtoull(need("--n"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      ctx.seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      const char* b = need("--backend");
+      auto kind = pp::parse_backend(b);
+      if (!kind) {
+        std::fprintf(stderr, "%s: unknown backend '%s'\n", argv[0], b);
+        return 2;
+      }
+      ctx.backend = *kind;
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      ctx.workers = static_cast<unsigned>(std::strtoul(need("--workers"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--grain") == 0) {
+      ctx.grain = static_cast<size_t>(std::strtoull(need("--grain"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--pivot") == 0) {
+      const char* p = need("--pivot");
+      if (std::strcmp(p, "rightmost") == 0) {
+        ctx.pivot = pp::pivot_policy::rightmost;
+      } else if (std::strcmp(p, "random") == 0 || std::strcmp(p, "uniform_random") == 0) {
+        ctx.pivot = pp::pivot_policy::uniform_random;
+      } else {
+        std::fprintf(stderr, "%s: unknown pivot policy '%s'\n", argv[0], p);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--repeats") == 0) {
+      repeats = std::atoi(need("--repeats"));
+      if (repeats < 1) repeats = 1;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], argv[i]);
+      return 2;
+    }
+  }
+
+  auto& reg = pp::registry::instance();
+  if (!reg.contains(solver)) {
+    std::fprintf(stderr, "%s: unknown solver '%s' (try '%s list')\n", argv[0], solver.c_str(),
+                 argv[0]);
+    return 1;
+  }
+  std::string problem;
+  for (const auto& s : reg.solvers())
+    if (s.name == solver) problem = s.problem;
+
+  auto input = reg.make_input(problem, n, ctx.seed);
+
+  double min_s = 1e100, sum_s = 0;
+  pp::run_result<pp::solver_value> last;
+  for (int rep = 0; rep < repeats; ++rep) {
+    last = pp::registry::run(solver, input, ctx);
+    min_s = std::min(min_s, last.seconds);
+    sum_s += last.seconds;
+  }
+
+  std::printf("solver   = %s\n", last.solver.c_str());
+  std::printf("problem  = %s (n = %zu, seed = %llu)\n", problem.c_str(), n,
+              static_cast<unsigned long long>(ctx.seed));
+  std::printf("backend  = %s (workers = %u, grain = %zu, pivot = %s)\n",
+              std::string(pp::backend_name(last.backend)).c_str(), pp::num_workers(ctx),
+              ctx.grain, pp::pivot_policy_name(ctx.pivot));
+  std::printf("result   = %s\n", pp::summary_of(last.value).c_str());
+  std::printf("score    = %lld\n", static_cast<long long>(pp::score_of(last.value)));
+  if (repeats > 1) {
+    std::printf("time     = %.6f s min, %.6f s mean over %d runs\n", min_s,
+                sum_s / repeats, repeats);
+  } else {
+    std::printf("time     = %.6f s\n", last.seconds);
+  }
+  const auto& st = last.stats;
+  std::printf("stats    = rounds %zu, processed %zu, max_frontier %zu, wakeups %zu, "
+              "substeps %zu, relaxations %zu\n",
+              st.rounds, st.processed, st.max_frontier, st.wakeup_attempts, st.substeps,
+              st.relaxations);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  try {
+    if (std::strcmp(argv[1], "list") == 0) return cmd_list();
+    if (std::strcmp(argv[1], "problems") == 0) return cmd_problems();
+    if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}
