@@ -22,7 +22,7 @@ void rowbench(const char* name, F f) {
   for (auto b : {pp::backend_kind::sequential, pp::backend_kind::openmp,
                  pp::backend_kind::native}) {
     pp::context ctx = bench::env_context().with_backend(b);
-    pp::scoped_context scope(ctx);
+    pp::run_scope scope(ctx);  // activation + pool lease / warm-up outside the clock
     std::printf(" %10.3f", bench::time_s(f));
   }
   std::printf("\n");

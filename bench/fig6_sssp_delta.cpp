@@ -25,6 +25,7 @@ void sweep(const pp::wgraph& wg, const char* name) {
   std::printf("%10s %10s %10s %12s %12s\n", "log2(dlt)", "time(s)", "buckets", "substeps",
               "relax/m");
   auto dj = pp::sssp_dijkstra(wg, 0);
+  pp::scoped_scheduler sched(pp::current_context());  // one pool lease for the whole sweep
   double best_t = 1e100;
   uint32_t best_delta = 0;
   for (uint32_t ld = 14; ld <= 26; ld += 2) {

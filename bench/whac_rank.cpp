@@ -17,7 +17,7 @@ int main() {
     auto moles = pp::random_moles(n, t_range, p_range, 5);
     pp::whac_result seq, par;
     double ts = bench::time_s([&] { seq = pp::whac_sequential(moles); });
-    double tp = bench::time_s([&] { par = pp::whac_parallel(moles); });
+    double tp = bench::time_s([&] { par = pp::whac_parallel(moles, pp::pivot_policy::rightmost, 1); });
     if (seq.dp != par.dp) {
       std::printf("MISMATCH!\n");
       return 1;

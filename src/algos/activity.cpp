@@ -256,22 +256,22 @@ std::vector<activity> random_activities(size_t n, int64_t t_range, double mean_l
 }
 
 activity_result activity_select_seq(std::span<const activity> acts, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return activity_select_seq(acts);
 }
 
 activity_result activity_select_type1(std::span<const activity> acts, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return activity_select_type1(acts);
 }
 
 activity_result activity_select_type1_flat(std::span<const activity> acts, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return activity_select_type1_flat(acts);
 }
 
 activity_result activity_select_type2(std::span<const activity> acts, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return activity_select_type2(acts);
 }
 

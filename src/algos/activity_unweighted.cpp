@@ -115,19 +115,19 @@ unweighted_activity_result activity_unweighted_parallel(std::span<const activity
 
 unweighted_activity_result activity_unweighted_greedy_seq(std::span<const activity> acts,
                                                           const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return activity_unweighted_greedy_seq(acts);
 }
 
 unweighted_activity_result activity_unweighted_parallel(std::span<const activity> acts,
                                                         const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return activity_unweighted_parallel(acts);
 }
 
 unweighted_activity_result activity_unweighted_euler(std::span<const activity> acts,
                                                      const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return euler_impl(acts, ctx.seed);
 }
 

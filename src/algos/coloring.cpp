@@ -110,7 +110,7 @@ coloring_result coloring_tas(const graph& g, std::span<const uint32_t> priority)
     nblock[v] = b;
   });
 
-  tas_forest forest{std::span<const uint32_t>(nblock)};  // before nblock is moved
+  tas_forest forest{std::span<const uint32_t>(nblock), current_context()};  // before nblock is moved
   tas_coloring_state st{g,          priority,        std::move(sadj), std::move(off),
                         std::move(nblock), res.color, std::move(forest)};
 
@@ -133,13 +133,13 @@ bool is_valid_coloring(const graph& g, std::span<const uint32_t> color) {
 
 coloring_result coloring_sequential(const graph& g, std::span<const uint32_t> priority,
                                     const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return coloring_sequential(g, priority);
 }
 
 coloring_result coloring_tas(const graph& g, std::span<const uint32_t> priority,
                              const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return coloring_tas(g, priority);
 }
 

@@ -186,12 +186,12 @@ std::vector<uint64_t> zipf_freqs(size_t n, double s, uint64_t max_f, uint64_t se
 }
 
 huffman_result huffman_seq(std::span<const uint64_t> freqs, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return huffman_seq(freqs);
 }
 
 huffman_result huffman_parallel(std::span<const uint64_t> freqs, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return huffman_parallel(freqs);
 }
 

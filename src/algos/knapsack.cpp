@@ -58,13 +58,13 @@ std::vector<knapsack_item> random_items(size_t n, int64_t w_min, int64_t w_max, 
 
 knapsack_result knapsack_seq(int64_t W, std::span<const knapsack_item> items,
                              const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return knapsack_seq(W, items);
 }
 
 knapsack_result knapsack_parallel(int64_t W, std::span<const knapsack_item> items,
                                   const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return knapsack_parallel(W, items);
 }
 

@@ -36,7 +36,7 @@ lis_result lis_seq_impl(std::span<const int64_t> a, std::span<const int32_t> w) 
 lis_result lis_sequential(std::span<const int64_t> a) { return lis_seq_impl(a, {}); }
 
 lis_result lis_sequential(std::span<const int64_t> a, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return lis_seq_impl(a, {});
 }
 
@@ -46,7 +46,7 @@ lis_result lis_sequential_weighted(std::span<const int64_t> a, std::span<const i
 
 lis_result lis_sequential_weighted(std::span<const int64_t> a, std::span<const int32_t> w,
                                    const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return lis_seq_impl(a, w);
 }
 
@@ -73,7 +73,7 @@ lis_result lis_parallel_weighted(std::span<const int64_t> a, std::span<const int
 
 lis_result lis_parallel_weighted(std::span<const int64_t> a, std::span<const int32_t> w,
                                  const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return lis_parallel_weighted(a, w, ctx.pivot, ctx.seed);
 }
 

@@ -45,16 +45,14 @@ lis_result lis_sequential_weighted(std::span<const int64_t> a, std::span<const i
                                    const context& ctx);
 
 // Phase-parallel LIS (Algorithm 3). The context form takes pivot policy
-// and seed from ctx; the positional form is the pre-context API and runs
-// under the current context.
-lis_result lis_parallel(std::span<const int64_t> a,
-                        pivot_policy policy = pivot_policy::rightmost, uint64_t seed = 1);
+// and seed from ctx; the positional form requires both explicitly (no
+// hidden default seed) and runs under the current context.
+lis_result lis_parallel(std::span<const int64_t> a, pivot_policy policy, uint64_t seed);
 lis_result lis_parallel(std::span<const int64_t> a, const context& ctx);
 
 // Phase-parallel weighted LIS (weights must be positive).
 lis_result lis_parallel_weighted(std::span<const int64_t> a, std::span<const int32_t> w,
-                                 pivot_policy policy = pivot_policy::rightmost,
-                                 uint64_t seed = 1);
+                                 pivot_policy policy, uint64_t seed);
 lis_result lis_parallel_weighted(std::span<const int64_t> a, std::span<const int32_t> w,
                                  const context& ctx);
 

@@ -199,32 +199,32 @@ std::vector<uint32_t> random_list(size_t n, uint64_t seed) {
 }
 
 list_ranking_result list_ranking_seq(std::span<const uint32_t> next, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return list_ranking_seq(next);
 }
 
 list_ranking_result list_ranking_parallel(std::span<const uint32_t> next, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return list_ranking_parallel(next, ctx.seed);
 }
 
 weighted_ranking_result list_ranking_weighted_seq(std::span<const uint32_t> next,
                                                   std::span<const int64_t> w,
                                                   const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return list_ranking_weighted_seq(next, w);
 }
 
 weighted_ranking_result list_ranking_weighted_parallel(std::span<const uint32_t> next,
                                                        std::span<const int64_t> w,
                                                        const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return list_ranking_weighted_parallel(next, w, ctx.seed);
 }
 
 weighted_ranking_result forest_depths_euler(std::span<const uint32_t> parent,
                                             const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return forest_depths_euler(parent, ctx.seed);
 }
 

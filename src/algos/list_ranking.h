@@ -37,8 +37,9 @@ list_ranking_result list_ranking_seq(std::span<const uint32_t> next);
 list_ranking_result list_ranking_seq(std::span<const uint32_t> next, const context& ctx);
 
 // Phase-parallel contraction/expansion; same output. The context form
-// draws the contraction priorities from ctx.seed.
-list_ranking_result list_ranking_parallel(std::span<const uint32_t> next, uint64_t seed = 1);
+// draws the contraction priorities from ctx.seed; the positional form
+// requires the seed explicitly (no hidden default).
+list_ranking_result list_ranking_parallel(std::span<const uint32_t> next, uint64_t seed);
 list_ranking_result list_ranking_parallel(std::span<const uint32_t> next, const context& ctx);
 
 struct weighted_ranking_result {
@@ -56,7 +57,7 @@ weighted_ranking_result list_ranking_weighted_seq(std::span<const uint32_t> next
                                                   const context& ctx);
 weighted_ranking_result list_ranking_weighted_parallel(std::span<const uint32_t> next,
                                                        std::span<const int64_t> w,
-                                                       uint64_t seed = 1);
+                                                       uint64_t seed);
 weighted_ranking_result list_ranking_weighted_parallel(std::span<const uint32_t> next,
                                                        std::span<const int64_t> w,
                                                        const context& ctx);
@@ -65,8 +66,7 @@ weighted_ranking_result list_ranking_weighted_parallel(std::span<const uint32_t>
 // ranked with +1/-1 weights — the standard tree-contraction route the
 // paper invokes for Theorem 5.3. parent[v] = kListEnd for roots. O(n)
 // work, polylog span whp.
-weighted_ranking_result forest_depths_euler(std::span<const uint32_t> parent,
-                                            uint64_t seed = 1);
+weighted_ranking_result forest_depths_euler(std::span<const uint32_t> parent, uint64_t seed);
 weighted_ranking_result forest_depths_euler(std::span<const uint32_t> parent,
                                             const context& ctx);
 

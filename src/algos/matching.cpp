@@ -144,13 +144,13 @@ bool is_maximal_matching(const graph& g, std::span<const uint32_t> partner) {
 
 matching_result matching_sequential(const graph& g, std::span<const uint32_t> edge_priority,
                                     const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return matching_sequential(g, edge_priority);
 }
 
 matching_result matching_rounds(const graph& g, std::span<const uint32_t> edge_priority,
                                 const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return matching_rounds(g, edge_priority);
 }
 

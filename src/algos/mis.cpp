@@ -81,15 +81,15 @@ struct tas_mis_state {
 
   tas_mis_state(const graph& gr, std::span<const uint32_t> prio,
                 std::vector<vertex_t> sadj, std::vector<size_t> off,
-                std::vector<uint32_t> nblock)
+                std::vector<uint32_t> nblock, const context& ctx)
       : g(gr),
         priority(prio),
         sorted_adj(std::move(sadj)),
         adj_off(std::move(off)),
         num_blocking(nblock.begin(), nblock.end()),
         status(gr.num_vertices()),
-        forest(std::span<const uint32_t>(num_blocking)) {
-    parallel_for(0, gr.num_vertices(), [&](size_t v) {
+        forest(std::span<const uint32_t>(num_blocking), ctx) {
+    parallel_for(ctx, 0, gr.num_vertices(), [&](size_t v) {
       status[v].store(0, std::memory_order_relaxed);
     });
   }
@@ -168,7 +168,8 @@ mis_result mis_tas(const graph& g, std::span<const uint32_t> priority) {
     nblock[v] = b;
   });
 
-  tas_mis_state st(g, priority, std::move(sadj), std::move(off), std::move(nblock));
+  tas_mis_state st(g, priority, std::move(sadj), std::move(off), std::move(nblock),
+                   current_context());
 
   // Kick off every vertex with no blocking neighbors (Lines 5-6).
   parallel_for(0, n, [&](size_t v) {
@@ -200,17 +201,17 @@ bool is_maximal_independent_set(const graph& g, std::span<const uint8_t> in_mis)
 
 mis_result mis_sequential(const graph& g, std::span<const uint32_t> priority,
                           const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return mis_sequential(g, priority);
 }
 
 mis_result mis_rounds(const graph& g, std::span<const uint32_t> priority, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return mis_rounds(g, priority);
 }
 
 mis_result mis_tas(const graph& g, std::span<const uint32_t> priority, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return mis_tas(g, priority);
 }
 

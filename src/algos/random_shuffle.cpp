@@ -73,13 +73,13 @@ shuffle_result knuth_shuffle_parallel(size_t n, std::span<const uint32_t> target
 
 shuffle_result knuth_shuffle_seq(size_t n, std::span<const uint32_t> targets,
                                  const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return knuth_shuffle_seq(n, targets);
 }
 
 shuffle_result knuth_shuffle_parallel(size_t n, std::span<const uint32_t> targets,
                                       const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return knuth_shuffle_parallel(n, targets);
 }
 

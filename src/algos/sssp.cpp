@@ -250,29 +250,29 @@ sssp_result sssp_crauser(const wgraph& g, vertex_t source, bool use_in_criterion
 }
 
 sssp_result sssp_dijkstra(const wgraph& g, vertex_t source, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return sssp_dijkstra(g, source);
 }
 
 sssp_result sssp_bellman_ford(const wgraph& g, vertex_t source, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return sssp_bellman_ford(g, source);
 }
 
 sssp_result sssp_delta_stepping(const wgraph& g, vertex_t source, uint32_t delta,
                                 const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return sssp_delta_stepping(g, source, delta);
 }
 
 sssp_result sssp_phase_parallel(const wgraph& g, vertex_t source, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return sssp_phase_parallel(g, source);
 }
 
 sssp_result sssp_crauser(const wgraph& g, vertex_t source, bool use_in_criterion,
                          const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return sssp_crauser(g, source, use_in_criterion);
 }
 

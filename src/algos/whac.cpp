@@ -119,12 +119,12 @@ std::vector<mole> random_moles(size_t n, int64_t t_range, int64_t p_range, uint6
 }
 
 whac_result whac_sequential(std::span<const mole> moles, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return whac_sequential(moles);
 }
 
 whac_result whac_parallel(std::span<const mole> moles, const context& ctx) {
-  scoped_context scope(ctx);
+  run_scope scope(ctx);
   return whac_parallel(moles, ctx.pivot, ctx.seed);
 }
 

@@ -38,9 +38,9 @@ whac_result whac_sequential(std::span<const mole> moles, const context& ctx);
 whac_result whac_bruteforce(std::span<const mole> moles);
 
 // Phase-parallel via the dominance engine. The context form takes pivot
-// policy and seed from ctx.
-whac_result whac_parallel(std::span<const mole> moles,
-                          pivot_policy policy = pivot_policy::rightmost, uint64_t seed = 1);
+// policy and seed from ctx; the positional form requires both explicitly
+// (no hidden default seed).
+whac_result whac_parallel(std::span<const mole> moles, pivot_policy policy, uint64_t seed);
 whac_result whac_parallel(std::span<const mole> moles, const context& ctx);
 
 // Random instance: moles with times in [0, t_range) and positions in

@@ -23,10 +23,16 @@
 // new code should construct a context and pass it down.
 #pragma once
 
+#include <omp.h>
+
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "parallel/backend.h"
 
@@ -77,6 +83,10 @@ struct context {
     c.pivot = p;
     return c;
   }
+
+  // Field-wise equality: two runs "agree" iff every knob matches. Used by
+  // the scope-race detector below and handy in tests.
+  friend bool operator==(const context&, const context&) = default;
 };
 
 // Process-wide defaults; mutable so startup code can configure them once.
@@ -95,6 +105,55 @@ inline std::atomic<std::shared_ptr<const context>>& current_context_slot() {
   static std::atomic<std::shared_ptr<const context>> p{nullptr};
   return p;
 }
+
+// ---- Scope-race detector ----------------------------------------------------
+//
+// Activation is process-wide last-writer-wins, so two top-level runs racing
+// on scoped_context with *different* configs silently cross-contaminate
+// (each may execute under the other's backend/workers/seed). The detector
+// keeps the set of live top-level scopes and counts conflicts: a top-level
+// scope whose config differs from another live top-level scope. Debug
+// builds assert so racing tests fail loudly; release builds count and warn
+// so soak harnesses can check scope_conflicts() stayed zero. Prefer
+// passing contexts explicitly (parallel_for(ctx, ...)) in genuinely
+// concurrent code.
+//
+// "Top-level" means: first scope on this thread (per-thread depth 0) AND
+// the thread is not a scheduler worker executing someone else's run — a
+// scope installed from inside a work-stealing pool or an OpenMP region is
+// part of the enclosing run, not a new racing run.
+
+// Defined in parallel/scheduler.{h,cpp}; declared here to avoid pulling
+// the scheduler into every context.h include. True only on a pool-spawned
+// worker thread (slot > 0); a run's own thread — including one holding a
+// pool lease via scoped_scheduler, as every registry::run does — is NOT a
+// worker thread and its first scope still registers as top-level.
+bool on_scheduler_worker_thread();
+
+inline thread_local int tl_scope_depth = 0;
+
+struct scope_registry {
+  std::mutex m;
+  std::vector<const context*> live;  // live top-level scopes' configs
+  // Slot value from before the first scope of the current overlap episode
+  // registered — what the slot must return to once every scope has exited,
+  // regardless of exit order.
+  std::shared_ptr<const context> episode_base;
+  std::atomic<uint64_t> conflicts{0};
+  // Debug-build kill switch. Tests that provoke a conflict on purpose (to
+  // check the detector itself) clear it around the race.
+  std::atomic<bool> assert_on_conflict{true};
+};
+
+inline scope_registry& scopes() {
+  static scope_registry r;
+  return r;
+}
+
+// Total conflicting top-level-scope activations observed so far.
+inline uint64_t scope_conflicts() {
+  return scopes().conflicts.load(std::memory_order_relaxed);
+}
 }  // namespace detail
 
 // A snapshot of the context governing the running computation: the
@@ -110,23 +169,88 @@ inline context current_context() {
 // Solver entry points install their context argument with this so that
 // every parallel_for/par_do they reach runs under it. Like the old backend
 // flag, activation is process-wide, not per-thread: fork-join workers must
-// observe the caller's context. Concurrent top-level runs racing on scopes
-// may observe each other's configuration (prefer passing contexts
-// explicitly), but the slot always points at live storage.
+// observe the caller's context. Concurrent top-level scopes with
+// *different* configs are flagged by the scope-race detector above (assert
+// in debug builds, counted warning otherwise); the destructor's
+// compare-exchange restore keeps a finishing scope from yanking the slot
+// out from under a still-live racing scope. What remains unflagged:
+// overlapping scopes with equal configs (benign while both live — the
+// loser of the exit race keeps a stale-but-identical config installed)
+// and nested scopes entered on one thread (intended shadowing, not a
+// race). The slot always points at live storage. For genuinely concurrent
+// runs, pass contexts explicitly (parallel_for(ctx, ...)).
 class scoped_context {
  public:
-  explicit scoped_context(const context& c)
-      : saved_(detail::current_context_slot().exchange(std::make_shared<const context>(c),
-                                                       std::memory_order_acq_rel)) {}
+  // Both the slot mutation and the registry bookkeeping happen under
+  // scopes().m, so a scope can never observe a slot state the registry
+  // does not yet (or no longer) describes — without the shared critical
+  // section, an install racing a register (or a final unregister racing a
+  // fresh install) could record the wrong episode base or clobber a just-
+  // installed live scope. current_context() readers never take the lock.
+  explicit scoped_context(const context& c) : installed_(std::make_shared<const context>(c)) {
+    top_level_ = detail::tl_scope_depth++ == 0 && !detail::on_scheduler_worker_thread() &&
+                 omp_in_parallel() == 0;
+    detail::scope_registry& r = detail::scopes();
+    std::lock_guard<std::mutex> lk(r.m);
+    saved_ = detail::current_context_slot().exchange(installed_, std::memory_order_acq_rel);
+    if (!top_level_) return;
+    if (r.live.empty()) r.episode_base = saved_;
+    bool conflict = false;
+    for (const context* other : r.live) {
+      if (!(*other == *installed_)) {
+        conflict = true;
+        break;
+      }
+    }
+    r.live.push_back(installed_.get());
+    if (conflict) {
+      r.conflicts.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "pp: WARNING: two live top-level scoped_contexts with different "
+                   "configs; concurrent runs may observe each other's settings. "
+                   "Pass contexts explicitly to parallel_for/par_do instead.\n");
+    }
+    assert((!conflict || !r.assert_on_conflict.load()) &&
+           "two live top-level scoped_contexts with different configs: "
+           "racing runs would cross-contaminate");
+  }
   ~scoped_context() {
-    detail::current_context_slot().store(std::move(saved_), std::memory_order_release);
+    detail::scope_registry& r = detail::scopes();
+    std::lock_guard<std::mutex> lk(r.m);
+    --detail::tl_scope_depth;
+    if (top_level_) {
+      for (size_t i = r.live.size(); i-- > 0;) {
+        if (r.live[i] == installed_.get()) {
+          r.live.erase(r.live.begin() + static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+      if (r.live.empty()) {
+        // Last top-level scope of the overlap episode: restore the slot to
+        // its pre-episode state regardless of exit order — a saved_-chain
+        // restore could point at a scope that died earlier in the race.
+        detail::current_context_slot().store(std::move(r.episode_base),
+                                             std::memory_order_release);
+        r.episode_base.reset();
+        return;
+      }
+    }
+    // Other top-level scopes are still live (or we are a nested scope):
+    // restore only if the slot still holds our context. If a racing scope
+    // replaced it, leaving the slot alone keeps the *live* run's context
+    // installed instead of yanking it back to ours mid-run.
+    std::shared_ptr<const context> expected = installed_;
+    detail::current_context_slot().compare_exchange_strong(
+        expected, std::move(saved_), std::memory_order_acq_rel, std::memory_order_acquire);
   }
 
   scoped_context(const scoped_context&) = delete;
   scoped_context& operator=(const scoped_context&) = delete;
 
  private:
+  std::shared_ptr<const context> installed_;
   std::shared_ptr<const context> saved_;
+  bool top_level_;
 };
 
 // ---- Deprecated shims over the default context ------------------------------

@@ -14,6 +14,7 @@
 
 #include "core/context.h"
 #include "core/stats.h"
+#include "parallel/api.h"
 #include "parallel/backend.h"
 
 namespace pp {
@@ -25,12 +26,16 @@ struct run_result {
   double seconds = 0.0;  // wall-clock time of the solver call
   backend_kind backend = backend_kind::native;  // backend the run used
   uint64_t seed = 0;                            // seed the run used
+  unsigned workers = 0;  // actual worker count the run executed on
   std::string solver;                           // registry name, e.g. "lis/parallel"
 };
 
 // Run fn(ctx) under `ctx` (fn must accept a const context&), time it, and
-// wrap the result. If the payload has a `.stats` member it is mirrored
-// into the envelope.
+// wrap the result. The scheduler for the run is bound before the clock
+// starts (pool lease + thread spawn-up stay out of the measurement) and
+// held until fn returns, so the whole solve executes on — and the envelope
+// reports — the width the context asked for. If the payload has a `.stats`
+// member it is mirrored into the envelope.
 template <typename F>
 auto run_timed(std::string solver, const context& ctx, F&& fn)
     -> run_result<std::decay_t<decltype(fn(ctx))>> {
@@ -38,6 +43,8 @@ auto run_timed(std::string solver, const context& ctx, F&& fn)
   out.solver = std::move(solver);
   out.backend = ctx.backend;
   out.seed = ctx.seed;
+  scoped_scheduler sched(ctx);
+  out.workers = sched.workers();
   auto t0 = std::chrono::steady_clock::now();
   out.value = fn(ctx);
   auto t1 = std::chrono::steady_clock::now();

@@ -22,19 +22,29 @@
 
 namespace pp {
 
+// The number of workers a run under `ctx` actually executes on. For the
+// native backend: the width of the pool the calling thread is already
+// pinned to (a run keeps its pool from fork to join), else the width a
+// fresh lease would have — ctx.workers, or the PP_THREADS/hardware default
+// when 0. The OpenMP `num_threads` clauses and the auto_grain heuristic
+// read this same value, so every backend agrees on what "W workers" means.
 inline unsigned num_workers(const context& ctx) {
   switch (ctx.backend) {
     case backend_kind::sequential:
       return 1;
     case backend_kind::openmp:
+      // Inside a parallel region the run executes on the enclosing team,
+      // whatever the context asks for (the nested par_do/parallel_for
+      // paths spawn tasks into it) — report that, mirroring the native
+      // pinned-pool rule below.
+      if (omp_in_parallel()) return static_cast<unsigned>(omp_get_num_threads());
       return ctx.workers != 0 ? ctx.workers
                               : static_cast<unsigned>(omp_get_max_threads());
     case backend_kind::native:
     default: {
-      unsigned pool = detail::work_stealing_pool::instance().num_workers();
-      // The pool is sized at first use; a context cannot grow it, only
-      // advise a smaller effective width.
-      return (ctx.workers != 0 && ctx.workers < pool) ? ctx.workers : pool;
+      if (const detail::work_stealing_pool* pool = detail::this_thread_pool())
+        return pool->num_workers();
+      return detail::resolve_native_workers(ctx.workers);
     }
   }
 }
@@ -42,17 +52,104 @@ inline unsigned num_workers(const context& ctx) {
 inline unsigned num_workers() { return num_workers(current_context()); }
 
 namespace detail {
+// Nesting depth of scoped_scheduler on this thread; only the outermost
+// binding pays one-time setup (the OpenMP team warm-up).
+inline thread_local int tl_sched_depth = 0;
+}  // namespace detail
+
+// RAII scheduler binding for one top-level run. On the native backend it
+// leases a work-stealing pool of exactly num_workers(ctx) workers and pins
+// the calling thread to it; nested constructions (a run inside a run)
+// reuse the already-pinned pool. On OpenMP it resolves the width and, at
+// the outermost binding only, warms the team (libgomp spawns threads
+// lazily at the first parallel region, which would otherwise land inside
+// run_timed's clock — unlike the native lease, whose spawn cost is paid
+// here). `workers()` is the honest count stamped into run_result.
+class scoped_scheduler {
+ public:
+  explicit scoped_scheduler(const context& ctx)
+      : outermost_(detail::tl_sched_depth++ == 0) {
+    switch (ctx.backend) {
+      case backend_kind::sequential:
+        workers_ = 1;
+        break;
+      case backend_kind::openmp: {
+        workers_ = num_workers(ctx);
+        if (outermost_ && !omp_in_parallel()) {
+          int nt = static_cast<int>(workers_);
+#pragma omp parallel num_threads(nt)
+          {
+          }
+        }
+        break;
+      }
+      case backend_kind::native:
+      default:
+        if (const detail::work_stealing_pool* pool = detail::this_thread_pool()) {
+          workers_ = pool->num_workers();
+        } else {
+          lease_ = detail::pool_lease(detail::resolve_native_workers(ctx.workers));
+          workers_ = lease_.width();
+        }
+        break;
+    }
+  }
+  ~scoped_scheduler() { --detail::tl_sched_depth; }
+
+  scoped_scheduler(const scoped_scheduler&) = delete;
+  scoped_scheduler& operator=(const scoped_scheduler&) = delete;
+
+  unsigned workers() const { return workers_; }
+
+ private:
+  bool outermost_;
+  detail::pool_lease lease_;
+  unsigned workers_ = 1;
+};
+
+// What every ctx-form solver entry installs: activates `c` for the
+// implicit parallel_for/par_do forms (scoped_context) AND binds the run's
+// scheduler (scoped_scheduler), so the whole solve executes on one leased
+// pool instead of paying a lease cycle per top-level parallel region.
+// Construction order matters: the scope registers with the race detector
+// before the lease pins the thread.
+class run_scope {
+ public:
+  explicit run_scope(const context& c) : scope_(c), sched_(c) {}
+  unsigned workers() const { return sched_.workers(); }
+
+ private:
+  scoped_context scope_;
+  scoped_scheduler sched_;
+};
+
+namespace detail {
 
 template <typename L, typename R>
-void par_do_native(L&& left, R&& right) {
-  auto& pool = work_stealing_pool::instance();
+void par_do_native(const context& ctx, L&& left, R&& right) {
+  work_stealing_pool* pool = this_thread_pool();
+  pool_lease lease;
+  if (pool == nullptr) {
+    // Outermost fork of a run that was not dispatched through
+    // registry::run/run_timed: lease a pool of the context's width for the
+    // duration of this fork-join tree.
+    lease = pool_lease(resolve_native_workers(ctx.workers));
+    pool = this_thread_pool();
+  }
+  if (pool->num_workers() == 1) {
+    // A 1-wide pool has no other workers: run strictly sequentially
+    // instead of cycling jobs through the deque.
+    left();
+    right();
+    return;
+  }
   fn_job<R> rjob(right);
-  pool.push(&rjob);
+  pool->push(&rjob);
   left();
-  if (pool.try_pop_specific(&rjob)) {
+  if (pool->try_pop_specific(&rjob)) {
     right();
   } else {
-    pool.wait_for(rjob);
+    pool->wait_for(rjob);
   }
 }
 
@@ -65,11 +162,11 @@ void par_do_omp_inner(L&& left, R&& right) {
 }
 
 template <typename L, typename R>
-void par_do_omp(L&& left, R&& right, unsigned workers) {
+void par_do_omp(const context& ctx, L&& left, R&& right) {
   if (omp_in_parallel()) {
     par_do_omp_inner(left, right);
   } else {
-    int nt = workers != 0 ? static_cast<int>(workers) : omp_get_max_threads();
+    int nt = static_cast<int>(num_workers(ctx));
 #pragma omp parallel default(shared) num_threads(nt)
 #pragma omp single nowait
     par_do_omp_inner(left, right);
@@ -88,11 +185,11 @@ void par_do(const context& ctx, L&& left, R&& right) {
       right();
       break;
     case backend_kind::openmp:
-      detail::par_do_omp(std::forward<L>(left), std::forward<R>(right), ctx.workers);
+      detail::par_do_omp(ctx, std::forward<L>(left), std::forward<R>(right));
       break;
     case backend_kind::native:
     default:
-      detail::par_do_native(std::forward<L>(left), std::forward<R>(right));
+      detail::par_do_native(ctx, std::forward<L>(left), std::forward<R>(right));
       break;
   }
 }
@@ -150,7 +247,7 @@ void parallel_for(const context& ctx, size_t lo, size_t hi, F f, size_t grain = 
         if (grain == 0) grain = detail::auto_grain(n, num_workers(ctx));
         detail::parallel_for_rec(ctx, lo, hi, f, grain);
       } else {
-        int nt = ctx.workers != 0 ? static_cast<int>(ctx.workers) : omp_get_max_threads();
+        int nt = static_cast<int>(num_workers(ctx));
         if (grain > 0) {
           // honor an explicit grain (argument or ctx.grain) as the chunk size
 #pragma omp parallel for schedule(dynamic, static_cast<int>(grain)) num_threads(nt)

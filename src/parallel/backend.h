@@ -11,6 +11,15 @@
 // (core/context.h); this header only defines the enumeration and its
 // string names so it can be included anywhere without pulling in the
 // context machinery.
+//
+// Worker-count semantics per backend (see pp::num_workers in
+// parallel/api.h): `context::workers` is the width the run executes on.
+// 0 means "backend default" — PP_THREADS, else the hardware concurrency,
+// for the native backend (resolve_native_workers in parallel/scheduler.h);
+// omp_get_max_threads() for OpenMP. The sequential backend is always 1.
+// On the native backend each width gets its own work-stealing pool from a
+// process-wide pool cache, so the request is honored exactly rather than
+// clamped to a first-use singleton.
 #pragma once
 
 #include <optional>

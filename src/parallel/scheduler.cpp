@@ -1,17 +1,21 @@
 #include "parallel/scheduler.h"
 
+#include <cassert>
 #include <chrono>
 #include <cstdlib>
-#include <random>
-#include <string>
 
 namespace pp::detail {
 
 namespace {
-// Slot index of the calling thread within the singleton pool.
+// Which pool the calling thread works for, and its slot in that pool.
+// Worker threads set these once at startup; a lease holder sets them in
+// attach() and clears them in detach(). Keeping the pool pointer thread-
+// local (rather than a process-wide "the" pool) is what lets concurrent
+// runs on different pools fork and join without seeing each other.
+thread_local work_stealing_pool* tl_pool = nullptr;
 thread_local int tl_worker_id = -1;
 
-unsigned configured_threads() {
+unsigned env_or_hardware_workers() {
   if (const char* env = std::getenv("PP_THREADS")) {
     int v = std::atoi(env);
     if (v >= 1) return static_cast<unsigned>(v);
@@ -21,11 +25,20 @@ unsigned configured_threads() {
 }
 }  // namespace
 
+work_stealing_pool* this_thread_pool() { return tl_pool; }
+
+bool on_scheduler_worker_thread() { return tl_pool != nullptr && tl_worker_id > 0; }
+
+unsigned resolve_native_workers(unsigned requested) {
+  if (requested >= 1) return requested;
+  static const unsigned def = env_or_hardware_workers();
+  return def;
+}
+
 work_stealing_pool::work_stealing_pool(unsigned nthreads) {
   if (nthreads < 1) nthreads = 1;
   deques_.reserve(nthreads);
   for (unsigned i = 0; i < nthreads; ++i) deques_.push_back(std::make_unique<deque_slot>());
-  tl_worker_id = 0;  // constructing thread adopts slot 0
   threads_.reserve(nthreads - 1);
   for (unsigned i = 1; i < nthreads; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -33,17 +46,42 @@ work_stealing_pool::work_stealing_pool(unsigned nthreads) {
 }
 
 work_stealing_pool::~work_stealing_pool() {
-  shutdown_.store(true, std::memory_order_release);
+  {
+    // Store under the sleep mutex so a worker between its parking
+    // predicate check and the block cannot miss the shutdown notify.
+    std::lock_guard<std::mutex> lk(sleep_m_);
+    shutdown_.store(true, std::memory_order_release);
+  }
   sleep_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-int work_stealing_pool::worker_id() const { return tl_worker_id; }
+void work_stealing_pool::attach() {
+  assert(tl_pool == nullptr && "thread already works for a pool");
+  tl_pool = this;
+  tl_worker_id = 0;
+  {
+    // The lock orders the flag flip against the workers' predicate check,
+    // so a worker that just decided to park cannot miss the wake-up.
+    std::lock_guard<std::mutex> lk(sleep_m_);
+    active_.store(true, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+}
+
+void work_stealing_pool::detach() {
+  assert(tl_pool == this && tl_worker_id == 0);
+  active_.store(false, std::memory_order_release);
+  tl_pool = nullptr;
+  tl_worker_id = -1;
+}
+
+int work_stealing_pool::worker_id() const { return tl_pool == this ? tl_worker_id : -1; }
 
 void work_stealing_pool::push(job* j) {
-  int id = tl_worker_id;
-  // Unknown threads (never the case in-library, but a user thread could
-  // call in) park their jobs on slot 0; worker 0 or a thief will run them.
+  int id = worker_id();
+  // Unknown threads (never the case in-library: par_do attaches before the
+  // first push) park their jobs on slot 0; worker 0 or a thief runs them.
   unsigned slot = id < 0 ? 0 : static_cast<unsigned>(id);
   {
     std::lock_guard<std::mutex> lk(deques_[slot]->m);
@@ -54,7 +92,7 @@ void work_stealing_pool::push(job* j) {
 }
 
 bool work_stealing_pool::try_pop_specific(job* j) {
-  int id = tl_worker_id;
+  int id = worker_id();
   unsigned slot = id < 0 ? 0 : static_cast<unsigned>(id);
   std::lock_guard<std::mutex> lk(deques_[slot]->m);
   auto& q = deques_[slot]->q;
@@ -96,7 +134,7 @@ job* work_stealing_pool::try_steal(unsigned thief_id) {
 }
 
 void work_stealing_pool::wait_for(job& j) {
-  int id = tl_worker_id;
+  int id = worker_id();
   unsigned self = id < 0 ? 0 : static_cast<unsigned>(id);
   unsigned idle_spins = 0;
   while (!j.done.load(std::memory_order_acquire)) {
@@ -117,6 +155,7 @@ void work_stealing_pool::wait_for(job& j) {
 }
 
 void work_stealing_pool::worker_loop(unsigned id) {
+  tl_pool = this;
   tl_worker_id = static_cast<int>(id);
   unsigned idle_spins = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
@@ -130,16 +169,80 @@ void work_stealing_pool::worker_loop(unsigned id) {
     if (++idle_spins < 64) {
       std::this_thread::yield();
     } else {
+      uint64_t seen = jobs_available_.load(std::memory_order_acquire);
       std::unique_lock<std::mutex> lk(sleep_m_);
-      sleep_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      if (!active_.load(std::memory_order_acquire)) {
+        // The pool is idle in the cache (no lease holder): park until the
+        // next attach instead of polling. A leased-but-quiet pool keeps
+        // the short timed wait so a missed push notification costs at
+        // most 1ms of steal latency.
+        sleep_cv_.wait(lk, [&] {
+          return shutdown_.load(std::memory_order_acquire) ||
+                 active_.load(std::memory_order_acquire) ||
+                 jobs_available_.load(std::memory_order_acquire) != seen;
+        });
+      } else {
+        sleep_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      }
       idle_spins = 0;
     }
   }
 }
 
-work_stealing_pool& work_stealing_pool::instance() {
-  static work_stealing_pool pool(configured_threads());
-  return pool;
+pool_cache& pool_cache::instance() {
+  static pool_cache* cache = new pool_cache();  // leaked: pools (and their
+  // threads) stay valid for any static-destruction-order stragglers.
+  return *cache;
+}
+
+work_stealing_pool* pool_cache::acquire(unsigned width) {
+  if (width < 1) width = 1;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    auto& idle = idle_[width];
+    if (!idle.empty()) {
+      work_stealing_pool* p = idle.back();
+      idle.pop_back();
+      return p;
+    }
+  }
+  // Cache miss: spawn the new pool's threads outside the lock so a slow
+  // construction never stalls concurrent acquires/releases.
+  auto fresh = std::make_unique<work_stealing_pool>(width);
+  work_stealing_pool* p = fresh.get();
+  std::lock_guard<std::mutex> lk(m_);
+  all_.push_back(std::move(fresh));
+  return p;
+}
+
+void pool_cache::release(work_stealing_pool* pool) {
+  std::lock_guard<std::mutex> lk(m_);
+  idle_[pool->num_workers()].push_back(pool);
+}
+
+size_t pool_cache::pools_created() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return all_.size();
+}
+
+size_t pool_cache::pools_idle() const {
+  std::lock_guard<std::mutex> lk(m_);
+  size_t n = 0;
+  for (const auto& [w, v] : idle_) n += v.size();
+  return n;
+}
+
+pool_lease::pool_lease(unsigned width) {
+  assert(tl_pool == nullptr && "cannot lease a pool from inside another pool");
+  pool_ = pool_cache::instance().acquire(width);
+  pool_->attach();
+}
+
+void pool_lease::reset() {
+  if (pool_ == nullptr) return;
+  pool_->detach();
+  pool_cache::instance().release(pool_);
+  pool_ = nullptr;
 }
 
 }  // namespace pp::detail

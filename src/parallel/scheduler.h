@@ -2,12 +2,22 @@
 // paper (Sec. 2): a computation forks two child tasks; the forking thread
 // is suspended (here: it helps run other tasks) until both children finish.
 //
-// Design: one deque per worker. The calling thread that constructed the
-// pool (normally `main`) owns worker slot 0 and participates in the
-// computation whenever it reaches a join. Forked right-children are pushed
-// to the owner's deque (LIFO for the owner); idle workers steal from the
-// front (FIFO) of a random victim, which is the standard depth-first-work /
+// Design: one deque per worker. Worker slot 0 has no dedicated thread; it
+// belongs to whichever thread currently *leases* the pool (normally the
+// thread running a top-level solve), which participates in the computation
+// whenever it reaches a join. Forked right-children are pushed to the
+// owner's deque (LIFO for the owner); idle workers steal from the front
+// (FIFO) of a random victim, which is the standard depth-first-work /
 // breadth-first-steal discipline of work stealing [Blumofe & Leiserson].
+//
+// Pools are not process singletons. `pool_cache` keeps idle pools keyed by
+// width; a `pool_lease` borrows one of exactly the width a run's context
+// asks for (spawning it on first use) and pins the leasing thread to slot 0
+// until the lease dies. Two concurrent top-level runs therefore never share
+// a pool — not even when they ask for the same width — and a run asking for
+// W workers really executes on W deques, which is what makes
+// `context::workers` an honest experimental variable for the paper's
+// scaling claims (Sec. 6).
 //
 // The deques are mutex-protected. On the target machines for this
 // reproduction (a few cores) deque contention is negligible and the mutex
@@ -19,8 +29,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace pp::detail {
@@ -54,7 +66,8 @@ struct fn_job final : job {
 
 class work_stealing_pool {
  public:
-  // The constructing thread becomes worker 0. `nthreads` includes it.
+  // Spawns `nthreads - 1` worker threads for slots 1..nthreads-1; slot 0 is
+  // reserved for the thread that leases the pool (see attach()).
   explicit work_stealing_pool(unsigned nthreads);
   ~work_stealing_pool();
 
@@ -63,8 +76,14 @@ class work_stealing_pool {
 
   unsigned num_workers() const { return static_cast<unsigned>(deques_.size()); }
 
+  // Bind the calling thread to worker slot 0 / unbind it. A pool has at
+  // most one attached thread at a time (pool_cache hands each pool out
+  // exclusively); a thread may be attached to at most one pool.
+  void attach();
+  void detach();
+
   // Push a job onto the calling worker's deque. Must be called from a
-  // thread that owns a worker slot (worker 0 = pool constructor thread).
+  // thread that owns a worker slot (worker 0 = the attached lease holder).
   void push(job* j);
 
   // Remove `j` from the calling worker's deque if it is still there.
@@ -76,13 +95,9 @@ class work_stealing_pool {
   // whose right child was stolen.
   void wait_for(job& j);
 
-  // Worker-id of the calling thread, or -1 if the thread is unknown to the
-  // pool (e.g. a thread spawned by the user outside the scheduler).
+  // Worker-id of the calling thread within *this* pool, or -1 if the
+  // thread belongs to another pool or to no pool at all.
   int worker_id() const;
-
-  // Singleton used by pp::par_do. Size: PP_THREADS env var, else
-  // std::thread::hardware_concurrency().
-  static work_stealing_pool& instance();
 
  private:
   struct deque_slot {
@@ -97,9 +112,76 @@ class work_stealing_pool {
   std::vector<std::unique_ptr<deque_slot>> deques_;
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> active_{false};          // a lease holder is attached
   std::atomic<uint64_t> jobs_available_{0};  // wake hint for sleeping workers
   std::mutex sleep_m_;
   std::condition_variable sleep_cv_;
+};
+
+// The pool this thread is currently working for: its leased pool (between
+// attach and detach) or, on a worker thread, the pool that spawned it.
+// nullptr for threads outside any native-backend computation.
+work_stealing_pool* this_thread_pool();
+
+// True only on a pool-spawned worker thread (slot > 0) — i.e. a thread
+// executing someone else's run. The lease holder (slot 0) is the run's own
+// thread and returns false.
+bool on_scheduler_worker_thread();
+
+// Width the native backend uses for `requested` workers: the request
+// itself, or — when the request is 0 — the PP_THREADS env var, else
+// std::thread::hardware_concurrency(). Always >= 1.
+unsigned resolve_native_workers(unsigned requested);
+
+// Registry of idle pools keyed by width. Pools are created on demand, kept
+// for the lifetime of the process, and handed out exclusively: while a
+// lease holds a pool no other acquire() can return it.
+class pool_cache {
+ public:
+  static pool_cache& instance();
+
+  // An idle pool of exactly `width` workers (creating one if necessary).
+  // The caller owns it exclusively until release().
+  work_stealing_pool* acquire(unsigned width);
+  void release(work_stealing_pool* pool);
+
+  // Introspection for tests: pools ever created / currently idle.
+  size_t pools_created() const;
+  size_t pools_idle() const;
+
+ private:
+  pool_cache() = default;
+
+  mutable std::mutex m_;
+  std::vector<std::unique_ptr<work_stealing_pool>> all_;
+  std::unordered_map<unsigned, std::vector<work_stealing_pool*>> idle_;
+};
+
+// RAII lease: acquires a pool of `width` workers from the cache and pins
+// the constructing thread to its slot 0 until destruction. Must be
+// destroyed on the thread that constructed it. The default-constructed
+// lease holds nothing (used when the thread is already inside a pool).
+class pool_lease {
+ public:
+  pool_lease() = default;
+  explicit pool_lease(unsigned width);
+  pool_lease(pool_lease&& o) noexcept : pool_(o.pool_) { o.pool_ = nullptr; }
+  pool_lease& operator=(pool_lease&& o) noexcept {
+    if (this != &o) {
+      reset();
+      pool_ = o.pool_;
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  ~pool_lease() { reset(); }
+
+  explicit operator bool() const { return pool_ != nullptr; }
+  unsigned width() const { return pool_ ? pool_->num_workers() : 0; }
+
+ private:
+  void reset();
+  work_stealing_pool* pool_ = nullptr;
 };
 
 }  // namespace pp::detail

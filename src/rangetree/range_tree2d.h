@@ -70,9 +70,11 @@ class range_tree2d {
   static constexpr uint32_t kTerminalSize = 8;  // scan directly below this
 
   // `y_ranks` must be a permutation of 0..n-1. `init(id)` provides the
-  // initial leaf aggregate of each point.
+  // initial leaf aggregate of each point. `seed` drives the randomized
+  // combines; callers must pass it explicitly (thread ctx.seed down) so a
+  // run's context seed governs every random choice in the tree.
   template <typename Init>
-  range_tree2d(std::span<const uint32_t> y_ranks, Init init, uint64_t seed = 0)
+  range_tree2d(std::span<const uint32_t> y_ranks, Init init, uint64_t seed)
       : n_(static_cast<uint32_t>(y_ranks.size())), rng_(seed) {
     n_pad_ = std::max<uint32_t>(kTerminalSize, std::bit_ceil(std::max<uint32_t>(n_, 1)));
     log_pad_ = static_cast<uint32_t>(std::countr_zero(n_pad_));

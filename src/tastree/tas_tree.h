@@ -28,21 +28,27 @@ namespace pp {
 
 class tas_forest {
  public:
-  // leaf_counts[v] = number of predecessors of object v.
-  explicit tas_forest(std::span<const uint32_t> leaf_counts) {
+  // leaf_counts[v] = number of predecessors of object v. The context form
+  // builds the arena under `ctx` (the TAS flags themselves are
+  // deterministic — no RNG — but construction forks under the run's
+  // backend/width like every other substrate); the argument-less form
+  // snapshots the current context.
+  tas_forest(std::span<const uint32_t> leaf_counts, const context& ctx) {
     size_t n = leaf_counts.size();
     offsets_.assign(n + 1, 0);
-    parallel_for(0, n, [&](size_t v) {
+    parallel_for(ctx, 0, n, [&](size_t v) {
       offsets_[v + 1] = leaf_counts[v] == 0 ? 0 : 2 * static_cast<size_t>(leaf_counts[v]);
     });
     scan_inclusive(std::span<size_t>(offsets_.data() + 1, n), size_t{0}, std::plus<size_t>{});
     leaves_.assign(n, 0);
-    parallel_for(0, n, [&](size_t v) { leaves_[v] = leaf_counts[v]; });
+    parallel_for(ctx, 0, n, [&](size_t v) { leaves_[v] = leaf_counts[v]; });
     flags_ = std::vector<std::atomic<uint8_t>>(offsets_.back());
-    parallel_for(0, flags_.size(), [&](size_t i) {
+    parallel_for(ctx, 0, flags_.size(), [&](size_t i) {
       flags_[i].store(0, std::memory_order_relaxed);
     });
   }
+  explicit tas_forest(std::span<const uint32_t> leaf_counts)
+      : tas_forest(leaf_counts, current_context()) {}
 
   size_t num_trees() const { return leaves_.size(); }
   uint32_t num_leaves(uint32_t v) const { return leaves_[v]; }

@@ -44,7 +44,7 @@ TEST(AdversarialLis, OrganPipe) {
   for (int i = 0; i < 500; ++i) a.push_back(i);
   for (int i = 0; i < 500; ++i) a.push_back(499 - i + 1000000);  // shifted down-ramp above ramp
   auto seq = pp::lis_sequential(a);
-  auto par = pp::lis_parallel(a);
+  auto par = pp::lis_parallel(a, pp::pivot_policy::rightmost, 1);
   EXPECT_EQ(par.length, seq.length);
   EXPECT_EQ(par.length, 501);  // 0..499 then one of the down-ramp
 }
@@ -65,7 +65,7 @@ TEST(AdversarialLis, FullChainMaxRank) {
   // strictly increasing input: rank n, one object per round — the span
   // worst case the paper discusses (\"our worst-case span is ~O(n)\")
   auto a = pp::iota<int64_t>(3000);
-  auto par = pp::lis_parallel(a);
+  auto par = pp::lis_parallel(a, pp::pivot_policy::rightmost, 1);
   EXPECT_EQ(par.length, 3000);
   EXPECT_EQ(par.stats.rounds, 3000u);
   // round 1 checks all n objects (the virtual-point wake-up); afterwards
@@ -212,7 +212,7 @@ TEST(AdversarialWhac, AllMolesOnDiagonal) {
   std::vector<pp::mole> moles;
   for (int i = 0; i < 300; ++i) moles.push_back({i, i});
   auto seq = pp::whac_sequential(moles);
-  auto par = pp::whac_parallel(moles);
+  auto par = pp::whac_parallel(moles, pp::pivot_policy::rightmost, 1);
   EXPECT_EQ(par.dp, seq.dp);
   EXPECT_EQ(par.best, 1);
 }

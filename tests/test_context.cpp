@@ -5,10 +5,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "core/context.h"
 #include "parallel/api.h"
+#include "test_backends.h"
 
 namespace {
 
@@ -139,8 +141,7 @@ TEST_P(ContextBackends, GrainOverrideStillCorrect) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, ContextBackends,
-                         ::testing::Values(backend_kind::sequential, backend_kind::openmp,
-                                           backend_kind::native),
+                         ::testing::ValuesIn(pp_test::backends_under_test()),
                          [](const auto& info) {
                            return std::string(pp::backend_name(info.param));
                          });
@@ -149,12 +150,52 @@ TEST(Context, NumWorkers) {
   EXPECT_EQ(pp::num_workers(context{}.with_backend(backend_kind::sequential)), 1u);
   EXPECT_EQ(pp::num_workers(context{}.with_backend(backend_kind::openmp).with_workers(3)), 3u);
   EXPECT_GE(pp::num_workers(context{}.with_backend(backend_kind::native)), 1u);
-  // advisory cap: never above the pool size, never zero
-  unsigned pool = pp::num_workers(context{}.with_backend(backend_kind::native));
+  // context::workers is honored exactly on the native backend — each width
+  // gets its own pool from the cache, so no singleton clamps the request.
+  unsigned hw = pp::num_workers(context{}.with_backend(backend_kind::native));
   EXPECT_EQ(pp::num_workers(context{}.with_backend(backend_kind::native).with_workers(1)), 1u);
   EXPECT_EQ(
-      pp::num_workers(context{}.with_backend(backend_kind::native).with_workers(pool + 100)),
-      pool);
+      pp::num_workers(context{}.with_backend(backend_kind::native).with_workers(hw + 3)),
+      hw + 3);
+}
+
+TEST(Context, EqualityComparesEveryKnob) {
+  context a;
+  EXPECT_EQ(a, context{});
+  EXPECT_FALSE(a == a.with_workers(2));
+  EXPECT_FALSE(a == a.with_seed(7));
+  EXPECT_FALSE(a == a.with_backend(backend_kind::openmp));
+  EXPECT_FALSE(a == a.with_grain(64));
+  EXPECT_FALSE(a == a.with_pivot(pp::pivot_policy::uniform_random));
+}
+
+TEST(Context, ScopeRaceDetectorFlagsConflictingTopLevelScopes) {
+  // Two live top-level scoped_contexts with different configs is exactly
+  // the cross-contamination race the detector exists for. This test only
+  // checks the counter (the assert fires in debug builds); NDEBUG test
+  // runs still observe the flagged conflict.
+  uint64_t before = pp::detail::scope_conflicts();
+  pp::detail::scopes().assert_on_conflict.store(false);  // deliberate race below
+  std::atomic<int> phase{0};
+  std::thread other([&] {
+    pp::scoped_context scope(context{}.with_seed(111));
+    phase.store(1);
+    while (phase.load() < 2) std::this_thread::yield();
+  });
+  while (phase.load() < 1) std::this_thread::yield();
+  { pp::scoped_context racer(context{}.with_seed(222)); }
+  phase.store(2);
+  other.join();
+  pp::detail::scopes().assert_on_conflict.store(true);
+  EXPECT_GT(pp::detail::scope_conflicts(), before);
+
+  // Nested scopes on one thread are NOT top-level races: no new conflict.
+  uint64_t nested_before = pp::detail::scope_conflicts();
+  {
+    pp::scoped_context outer(context{}.with_seed(1));
+    pp::scoped_context inner(context{}.with_seed(2));
+  }
+  EXPECT_EQ(pp::detail::scope_conflicts(), nested_before);
 }
 
 TEST(Context, ParseBackend) {

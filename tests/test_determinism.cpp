@@ -7,17 +7,20 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/registry.h"
+#include "test_backends.h"
 
 namespace {
 
 using pp::backend_kind;
 using pp::registry;
 
-const backend_kind kBackends[] = {backend_kind::sequential, backend_kind::openmp,
-                                  backend_kind::native};
+// sequential, openmp, native — minus openmp under PP_TEST_SKIP_OPENMP
+// (the CI TSan job; see test_backends.h).
+const std::vector<backend_kind> kBackends = pp_test::backends_under_test();
 
 pp::context ctx_for(backend_kind b, uint64_t seed) {
   return pp::context{}.with_backend(b).with_seed(seed);
@@ -65,6 +68,58 @@ TEST(Determinism, SsspAcrossBackends) {
     const auto& sssp = std::get<pp::sssp_result>(res.value);
     EXPECT_EQ(sssp.dist, ref_sssp.dist) << pp::backend_name(b);
     EXPECT_EQ(res.stats.rounds, ref.stats.rounds) << pp::backend_name(b);
+  }
+}
+
+TEST(Determinism, ResultsIndependentOfWorkerCount) {
+  // ISSUE 2 satellite: on one backend, sweeping workers in {1, 2, hw} must
+  // not change results OR round counts — width is a performance variable,
+  // never a semantic one. (Per-width pools make this real on the native
+  // backend: a workers=W run executes on exactly W deques.)
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  const unsigned widths[] = {1u, 2u, hw};
+
+  struct case_t {
+    const char* problem;
+    const char* solver;
+    size_t n;
+    uint64_t seed;
+  };
+  const case_t cases[] = {
+      {"lis", "lis/parallel", 4'000, 17},
+      {"graph", "mis/rounds", 2'000, 23},
+      {"sssp", "sssp/phase_parallel", 2'000, 29},
+  };
+
+  std::vector<backend_kind> parallel_backends;
+  for (auto b : kBackends)
+    if (b != backend_kind::sequential) parallel_backends.push_back(b);
+
+  for (auto b : parallel_backends) {
+    for (const auto& c : cases) {
+      auto in = registry::instance().make_input(c.problem, c.n, c.seed);
+      auto ref = registry::run(c.solver, in, ctx_for(b, c.seed).with_workers(1));
+      EXPECT_EQ(ref.workers, 1u) << c.solver << "/" << pp::backend_name(b);
+      for (unsigned w : widths) {
+        auto res = registry::run(c.solver, in, ctx_for(b, c.seed).with_workers(w));
+        EXPECT_EQ(res.workers, w) << c.solver << "/" << pp::backend_name(b);
+        EXPECT_EQ(pp::score_of(res.value), pp::score_of(ref.value))
+            << c.solver << "/" << pp::backend_name(b) << " workers=" << w;
+        EXPECT_EQ(res.stats.rounds, ref.stats.rounds)
+            << c.solver << "/" << pp::backend_name(b) << " workers=" << w;
+      }
+    }
+  }
+
+  // Full-payload check on the richest case: identical dp arrays, not just
+  // identical scalar scores.
+  auto in = registry::instance().make_input("lis", 4'000, 17);
+  auto ref = registry::run("lis/parallel", in, ctx_for(backend_kind::native, 17).with_workers(1));
+  for (unsigned w : widths) {
+    auto res = registry::run("lis/parallel", in, ctx_for(backend_kind::native, 17).with_workers(w));
+    EXPECT_EQ(std::get<pp::lis_result>(res.value).dp, std::get<pp::lis_result>(ref.value).dp)
+        << "workers=" << w;
   }
 }
 

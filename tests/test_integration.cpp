@@ -93,14 +93,14 @@ TEST(BackendDeterminism, HuffmanKnapsackShuffleListWhac) {
   auto k_ref = run_on(kBackends[0], [&] { return pp::knapsack_parallel(5000, items); });
   auto s_ref = run_on(kBackends[0], [&] { return pp::knuth_shuffle_parallel(50000, targets); });
   auto l_ref = run_on(kBackends[0], [&] { return pp::list_ranking_parallel(next, 9); });
-  auto w_ref = run_on(kBackends[0], [&] { return pp::whac_parallel(moles); });
+  auto w_ref = run_on(kBackends[0], [&] { return pp::whac_parallel(moles, pp::pivot_policy::rightmost, 1); });
   for (auto b : kBackends) {
     EXPECT_EQ(run_on(b, [&] { return pp::huffman_parallel(freqs); }).wpl, h_ref.wpl);
     EXPECT_EQ(run_on(b, [&] { return pp::knapsack_parallel(5000, items); }).dp, k_ref.dp);
     EXPECT_EQ(run_on(b, [&] { return pp::knuth_shuffle_parallel(50000, targets); }).perm,
               s_ref.perm);
     EXPECT_EQ(run_on(b, [&] { return pp::list_ranking_parallel(next, 9); }).rank, l_ref.rank);
-    EXPECT_EQ(run_on(b, [&] { return pp::whac_parallel(moles); }).dp, w_ref.dp);
+    EXPECT_EQ(run_on(b, [&] { return pp::whac_parallel(moles, pp::pivot_policy::rightmost, 1); }).dp, w_ref.dp);
   }
 }
 

@@ -73,17 +73,17 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Lis, EdgeCases) {
   // strictly increasing: LIS = n, rounds = n
   std::vector<int64_t> inc = {1, 2, 3, 4, 5, 6, 7, 8};
-  auto p = pp::lis_parallel(inc);
+  auto p = pp::lis_parallel(inc, pp::pivot_policy::rightmost, 1);
   EXPECT_EQ(p.length, 8);
   EXPECT_EQ(p.stats.rounds, 8u);
   // strictly decreasing: LIS = 1, one round
   std::vector<int64_t> dec = {8, 7, 6, 5, 4, 3, 2, 1};
-  p = pp::lis_parallel(dec);
+  p = pp::lis_parallel(dec, pp::pivot_policy::rightmost, 1);
   EXPECT_EQ(p.length, 1);
   EXPECT_EQ(p.stats.rounds, 1u);
   // all equal: strictly increasing LIS = 1
   std::vector<int64_t> eq(100, 42);
-  p = pp::lis_parallel(eq);
+  p = pp::lis_parallel(eq, pp::pivot_policy::rightmost, 1);
   EXPECT_EQ(p.length, 1);
   EXPECT_EQ(pp::lis_sequential(eq).length, 1);
 }
@@ -107,7 +107,7 @@ TEST(Lis, ReconstructionIsValidOptimalSubsequence) {
     std::mt19937_64 gen(seed);
     std::vector<int64_t> a(500);
     for (auto& x : a) x = static_cast<int64_t>(gen() % 300);
-    auto par = pp::lis_parallel(a);
+    auto par = pp::lis_parallel(a, pp::pivot_policy::rightmost, 1);
     auto idx = pp::lis_reconstruct(a, par.dp);
     ASSERT_EQ(static_cast<int64_t>(idx.size()), par.length);
     for (size_t k = 1; k < idx.size(); ++k) {

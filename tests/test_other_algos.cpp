@@ -137,12 +137,12 @@ TEST(ForestDepths, SingleChainAndStar) {
   // chain: parent[v] = v - 1
   std::vector<uint32_t> chain(100);
   for (size_t v = 0; v < 100; ++v) chain[v] = v == 0 ? pp::kListEnd : static_cast<uint32_t>(v - 1);
-  auto d = pp::forest_depths_euler(chain);
+  auto d = pp::forest_depths_euler(chain, 1);
   for (size_t v = 0; v < 100; ++v) ASSERT_EQ(d.rank[v], static_cast<int64_t>(v + 1));
   // star: all children of node 0
   std::vector<uint32_t> star(500, 0);
   star[0] = pp::kListEnd;
-  d = pp::forest_depths_euler(star);
+  d = pp::forest_depths_euler(star, 1);
   EXPECT_EQ(d.rank[0], 1);
   for (size_t v = 1; v < 500; ++v) ASSERT_EQ(d.rank[v], 2);
 }

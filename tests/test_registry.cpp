@@ -98,6 +98,24 @@ TEST(Registry, EnvelopeIsFilled) {
   EXPECT_FALSE(pp::summary_of(res.value).empty());
 }
 
+TEST(Registry, EnvelopeReportsActualWorkerCount) {
+  // Acceptance criterion of ISSUE 2: a run asking for W workers reports
+  // width W on both parallel backends (the native pool really has W
+  // deques; the OpenMP region really passes W to num_threads).
+  auto in = registry::instance().make_input("lis", 1'000, 7);
+  for (auto b : {pp::backend_kind::native, pp::backend_kind::openmp}) {
+    for (unsigned w : {1u, 2u, 3u}) {
+      auto res = registry::run("lis/parallel", in,
+                               pp::context{}.with_backend(b).with_seed(7).with_workers(w));
+      EXPECT_EQ(res.workers, w) << pp::backend_name(b) << " workers=" << w;
+    }
+  }
+  auto seq = registry::run(
+      "lis/parallel", in,
+      pp::context{}.with_backend(pp::backend_kind::sequential).with_seed(7).with_workers(4));
+  EXPECT_EQ(seq.workers, 1u);  // sequential is always width 1
+}
+
 TEST(Registry, ParallelLisMatchesSequentialPayload) {
   auto in = registry::instance().make_input("lis", 3'000, 11);
   auto seq = registry::run("lis/sequential", in);

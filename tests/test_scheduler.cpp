@@ -1,12 +1,18 @@
 // Tests for the work-stealing scheduler and the par_do/parallel_for API,
-// across all three backends.
+// across all three backends, plus the per-context pool cache: leases pin a
+// run to a pool of exactly ctx.workers deques, workers=1 runs are strictly
+// sequential, and concurrent runs never share a pool.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "parallel/api.h"
+#include "test_backends.h"
 
 namespace {
 
@@ -92,8 +98,7 @@ TEST_P(BackendTest, ManySequentialParallelRegions) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendTest,
-                         ::testing::Values(backend_kind::native, backend_kind::openmp,
-                                           backend_kind::sequential),
+                         ::testing::ValuesIn(pp_test::backends_under_test()),
                          [](const auto& info) {
                            return std::string(pp::backend_name(info.param));
                          });
@@ -102,8 +107,120 @@ TEST(Scheduler, NumWorkersPositive) {
   EXPECT_GE(pp::num_workers(), 1u);
 }
 
-TEST(Scheduler, WorkerIdOfMainIsZero) {
-  EXPECT_EQ(pp::detail::work_stealing_pool::instance().worker_id(), 0);
+TEST(Scheduler, LeaseHolderIsWorkerZero) {
+  // Outside any run the thread belongs to no pool; under a scheduler
+  // binding it owns slot 0 of the leased pool.
+  EXPECT_EQ(pp::detail::this_thread_pool(), nullptr);
+  {
+    pp::scoped_scheduler sched(pp::context{}.with_backend(pp::backend_kind::native));
+    auto* pool = pp::detail::this_thread_pool();
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(pool->worker_id(), 0);
+    EXPECT_EQ(pool->num_workers(), sched.workers());
+  }
+  EXPECT_EQ(pp::detail::this_thread_pool(), nullptr);
+}
+
+TEST(Scheduler, ContextWorkersSizesThePool) {
+  // A run asking for W workers executes on a pool of exactly W deques —
+  // context::workers is the pool size, not an advisory clamp.
+  for (unsigned w : {1u, 2u, 3u}) {
+    pp::context ctx = pp::context{}.with_backend(pp::backend_kind::native).with_workers(w);
+    pp::scoped_scheduler sched(ctx);
+    EXPECT_EQ(sched.workers(), w);
+    EXPECT_EQ(pp::detail::this_thread_pool()->num_workers(), w);
+    EXPECT_EQ(pp::num_workers(ctx), w);
+  }
+}
+
+TEST(Scheduler, WorkersOneRunsStrictlySequentially) {
+  // Regression (ISSUE 2 satellite 1): a native workers=1 run must be
+  // observably single-threaded — no thread other than the caller touches
+  // the probe, even though wider pools exist in the cache from other tests.
+  pp::context ctx = pp::context{}.with_backend(pp::backend_kind::native).with_workers(1);
+  const auto caller = std::this_thread::get_id();
+  std::mutex m;
+  std::set<std::thread::id> seen;
+  pp::parallel_for(ctx, 0, 50'000, [&](size_t) {
+    std::lock_guard<std::mutex> lk(m);
+    seen.insert(std::this_thread::get_id());
+  }, /*grain=*/1);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), caller);
+
+  // Same through par_do: both sides on the calling thread.
+  std::set<std::thread::id> ids;
+  pp::par_do(ctx, [&] { ids.insert(std::this_thread::get_id()); },
+             [&] { ids.insert(std::this_thread::get_id()); });
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), caller);
+}
+
+TEST(Scheduler, WiderContextUsesMultipleThreads) {
+  // Sanity counterpart: with >= 2 workers and tiny grain, some iteration
+  // should land off the calling thread (steals are stochastic, so retry).
+  pp::context ctx = pp::context{}.with_backend(pp::backend_kind::native).with_workers(2);
+  bool off_thread = false;
+  for (int attempt = 0; attempt < 20 && !off_thread; ++attempt) {
+    const auto caller = std::this_thread::get_id();
+    std::mutex m;
+    std::set<std::thread::id> seen;
+    pp::parallel_for(ctx, 0, 100'000, [&](size_t) {
+      std::lock_guard<std::mutex> lk(m);
+      seen.insert(std::this_thread::get_id());
+    }, /*grain=*/16);
+    EXPECT_TRUE(seen.count(caller));
+    off_thread = seen.size() > 1;
+  }
+  EXPECT_TRUE(off_thread) << "2-worker runs never left the calling thread";
+}
+
+TEST(Scheduler, PoolCacheReusesByWidth) {
+  auto& cache = pp::detail::pool_cache::instance();
+  pp::context ctx = pp::context{}.with_backend(pp::backend_kind::native).with_workers(3);
+  { pp::scoped_scheduler s(ctx); }
+  size_t created = cache.pools_created();
+  // Re-running the same width must reuse the idle pool, not build another.
+  { pp::scoped_scheduler s(ctx); }
+  { pp::scoped_scheduler s(ctx); }
+  EXPECT_EQ(cache.pools_created(), created);
+}
+
+TEST(Scheduler, ConcurrentRunsGetDistinctPools) {
+  // Two top-level runs — even of the same width — never share a pool, so a
+  // run's deques are never visible to another run's thieves.
+  pp::detail::work_stealing_pool* a = nullptr;
+  pp::detail::work_stealing_pool* b = nullptr;
+  std::atomic<int> ready{0};
+  auto grab = [&](pp::detail::work_stealing_pool** out, unsigned w) {
+    pp::scoped_scheduler sched(
+        pp::context{}.with_backend(pp::backend_kind::native).with_workers(w));
+    *out = pp::detail::this_thread_pool();
+    ready.fetch_add(1);
+    while (ready.load() < 2) std::this_thread::yield();  // overlap lifetimes
+  };
+  std::thread t1(grab, &a, 2u);
+  std::thread t2(grab, &b, 2u);
+  t1.join();
+  t2.join();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a->num_workers(), 2u);
+  EXPECT_EQ(b->num_workers(), 2u);
+}
+
+TEST(Scheduler, NestedRunReusesPinnedPool) {
+  // From fork to join a run stays on its leased pool: a nested scheduler
+  // binding (a run inside a run) must not re-lease.
+  pp::context outer = pp::context{}.with_backend(pp::backend_kind::native).with_workers(2);
+  pp::scoped_scheduler s1(outer);
+  auto* pinned = pp::detail::this_thread_pool();
+  pp::context inner = outer.with_workers(4);  // asks wider; stays pinned
+  pp::scoped_scheduler s2(inner);
+  EXPECT_EQ(pp::detail::this_thread_pool(), pinned);
+  EXPECT_EQ(s2.workers(), 2u);
+  EXPECT_EQ(pp::num_workers(inner), 2u);  // honest: reports the pinned width
 }
 
 TEST(Scheduler, UnbalancedForkJoin) {

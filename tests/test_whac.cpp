@@ -54,7 +54,7 @@ TEST(Whac, HandExample) {
   std::vector<pp::mole> moles = {{0, 0}, {2, 1}, {3, 5}};
   auto seq = pp::whac_sequential(moles);
   EXPECT_EQ(seq.best, 2);
-  auto par = pp::whac_parallel(moles);
+  auto par = pp::whac_parallel(moles, pp::pivot_policy::rightmost, 1);
   EXPECT_EQ(par.best, 2);
 }
 
@@ -62,7 +62,7 @@ TEST(Whac, StationaryHammerChain) {
   // All moles at the same position, increasing times: all hittable.
   std::vector<pp::mole> moles;
   for (int i = 0; i < 20; ++i) moles.push_back({2 * i, 7});
-  auto par = pp::whac_parallel(moles);
+  auto par = pp::whac_parallel(moles, pp::pivot_policy::rightmost, 1);
   EXPECT_EQ(par.best, 20);
 }
 
@@ -71,7 +71,7 @@ TEST(Whac, SimultaneousMolesOnlyOneHit) {
   std::vector<pp::mole> moles = {{5, 0}, {5, 10}, {5, 20}, {5, 30}};
   auto seq = pp::whac_sequential(moles);
   EXPECT_EQ(seq.best, 1);
-  auto par = pp::whac_parallel(moles);
+  auto par = pp::whac_parallel(moles, pp::pivot_policy::rightmost, 1);
   EXPECT_EQ(par.best, 1);
 }
 
@@ -80,11 +80,11 @@ TEST(Whac, ExactBoundaryIsExcluded) {
   // pair is incompatible.
   std::vector<pp::mole> moles = {{0, 0}, {4, 4}};
   EXPECT_EQ(pp::whac_sequential(moles).best, 1);
-  EXPECT_EQ(pp::whac_parallel(moles).best, 1);
+  EXPECT_EQ(pp::whac_parallel(moles, pp::pivot_policy::rightmost, 1).best, 1);
   // one step inside the cone: compatible
   std::vector<pp::mole> ok = {{0, 0}, {4, 3}};
   EXPECT_EQ(pp::whac_sequential(ok).best, 2);
-  EXPECT_EQ(pp::whac_parallel(ok).best, 2);
+  EXPECT_EQ(pp::whac_parallel(ok, pp::pivot_policy::rightmost, 1).best, 2);
 }
 
 }  // namespace

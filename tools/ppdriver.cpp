@@ -121,8 +121,10 @@ int cmd_run(int argc, char** argv) {
   std::printf("solver   = %s\n", last.solver.c_str());
   std::printf("problem  = %s (n = %zu, seed = %llu)\n", problem.c_str(), n,
               static_cast<unsigned long long>(ctx.seed));
+  // last.workers is the width the run *actually* executed on (pool lease /
+  // omp num_threads), not a pre-run guess from the context.
   std::printf("backend  = %s (workers = %u, grain = %zu, pivot = %s)\n",
-              std::string(pp::backend_name(last.backend)).c_str(), pp::num_workers(ctx),
+              std::string(pp::backend_name(last.backend)).c_str(), last.workers,
               ctx.grain, pp::pivot_policy_name(ctx.pivot));
   std::printf("result   = %s\n", pp::summary_of(last.value).c_str());
   std::printf("score    = %lld\n", static_cast<long long>(pp::score_of(last.value)));
