@@ -95,6 +95,19 @@ inline context& default_context() {
   return c;
 }
 
+// Per-item execution seed for item `i` of a batch run under base seed
+// `seed`: one SplitMix64 step over (seed, i). The rule lives here — not
+// inside the registry — because it is part of the public batching
+// contract: item i of registry::run_batch(name, inputs, ctx) executes
+// under ctx.with_seed(derive_seed(ctx.seed, i)), so a batch is
+// reproducible item-by-item with plain registry::run calls.
+inline uint64_t derive_seed(uint64_t seed, uint64_t i) {
+  uint64_t x = seed + (i + 1) * 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 namespace detail {
 // The active context is held by shared_ptr so that interleaved or
 // concurrent scopes can never restore a pointer into a dead stack frame:

@@ -1,0 +1,152 @@
+// Minimal JSON writer — no external dependencies.
+//
+// The machine-readable result envelopes (`pp::to_json` over run_result /
+// batch_result in core/registry.h, and ppdriver's --json output) are built
+// on this. The writer emits RFC 8259 JSON: objects/arrays with automatic
+// comma placement, full string escaping, and doubles via %.17g (shortest
+// round-trip is not required; 17 significant digits always round-trips).
+// Non-finite doubles have no JSON spelling and are emitted as null.
+//
+//   pp::json::writer w;
+//   w.begin_object();
+//   w.member("solver", "lis/parallel").member("seconds", 0.123);
+//   w.key("items").begin_array().value(int64_t{1}).value(int64_t{2}).end_array();
+//   w.end_object();
+//   puts(w.str().c_str());
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pp::json {
+
+class writer {
+ public:
+  writer& begin_object() {
+    open('{');
+    return *this;
+  }
+  writer& end_object() {
+    close('}');
+    return *this;
+  }
+  writer& begin_array() {
+    open('[');
+    return *this;
+  }
+  writer& end_array() {
+    close(']');
+    return *this;
+  }
+
+  // Object key; must be followed by exactly one value / begin_*.
+  writer& key(std::string_view k) {
+    separate();
+    append_string(k);
+    out_ += ": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  writer& value(std::string_view s) {
+    separate();
+    append_string(s);
+    return *this;
+  }
+  writer& value(const char* s) { return value(std::string_view(s)); }
+  writer& value(bool b) {
+    separate();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  writer& value(int64_t v) {
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  writer& value(uint64_t v) {
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  writer& value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+  }
+
+  template <typename V>
+  writer& member(std::string_view k, V v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void open(char c) {
+    separate();
+    out_ += c;
+    need_comma_.push_back(false);
+  }
+  void close(char c) {
+    if (!need_comma_.empty()) need_comma_.pop_back();
+    out_ += c;
+    if (!need_comma_.empty()) need_comma_.back() = true;
+  }
+  // Comma before the next element of the enclosing aggregate — unless this
+  // value completes a `key:` pair (the comma was placed before the key).
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ", ";
+      need_comma_.back() = true;
+    }
+  }
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (unsigned char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += static_cast<char>(c);
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace pp::json

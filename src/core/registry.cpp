@@ -1,8 +1,10 @@
 #include "core/registry.h"
 
 #include <cstdio>
+#include <numeric>
 #include <stdexcept>
 
+#include "core/json.h"
 #include "graph/generators.h"
 #include "parallel/random.h"
 
@@ -136,17 +138,142 @@ problem_input registry::make_input(std::string_view problem, size_t n, uint64_t 
   return it->second.make(n, seed);
 }
 
-run_result<solver_value> registry::run(std::string_view name, const problem_input& input,
-                                       const context& ctx) {
+const registry::solver_entry& registry::find_solver(std::string_view name) {
   registry& r = instance();
   auto it = r.solvers_.find(name);
   if (it == r.solvers_.end())
     throw std::out_of_range("pp::registry: unknown solver '" + std::string(name) + "'");
-  const solver_entry& e = it->second;
+  return it->second;
+}
+
+run_result<solver_value> registry::run(std::string_view name, const problem_input& input,
+                                       const context& ctx) {
+  const solver_entry& e = find_solver(name);
   auto res = run_timed(e.info.name, ctx,
                        [&](const context& c) -> solver_value { return e.fn(input, c); });
   res.stats = stats_of(res.value);  // the variant hides the payload's .stats member
   return res;
+}
+
+batch_result<solver_value> registry::run_batch_impl(
+    const solver_entry& e, size_t count,
+    const std::function<const problem_input&(size_t)>& input_at, const context& ctx,
+    const batch_options& opts) {
+  batch_result<solver_value> out;
+  out.solver = e.info.name;
+  out.backend = ctx.backend;
+  out.seed = ctx.seed;
+  out.items.resize(count);
+  out.scores.resize(count);
+
+  // Execution order: input order, or a Fisher-Yates permutation derived
+  // from the base seed. Per-item seeds are derived from the *input* index,
+  // so shuffling reorders wall-clock interleaving only — every item's
+  // result is identical under either order.
+  std::vector<size_t> order(count);
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (opts.order == batch_options::item_order::shuffled) {
+    for (size_t i = count; i > 1; --i) {
+      size_t j = static_cast<size_t>(
+          random_stream(hash64(ctx.seed ^ 0xba7c4ed5u)).ith_bounded(i - 1, i));
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+
+  // The whole batch shares ONE run_scope: the context is installed and the
+  // scheduler bound (pool lease / OpenMP team warm-up) here, once.
+  // Per-item dispatches below construct nested scopes that reuse the
+  // pinned pool, so scheduler acquisition is amortized across the batch —
+  // and nests correctly when run_batch is itself called from inside an
+  // enclosing run (the nested scope is not top-level for the race
+  // detector, and no second lease is taken).
+  run_scope scope(ctx);
+  out.workers = scope.workers();
+  for (size_t i : order) {
+    context item_ctx = opts.derive_seeds ? ctx.with_seed(derive_seed(ctx.seed, i)) : ctx;
+    const problem_input& in = input_at(i);
+    auto res = run_timed(e.info.name, item_ctx,
+                         [&](const context& c) -> solver_value { return e.fn(in, c); });
+    res.stats = stats_of(res.value);
+    out.scores[i] = score_of(res.value);
+    out.items[i] = std::move(res);
+  }
+  out.recompute_aggregates();
+  return out;
+}
+
+batch_result<solver_value> registry::run_batch(std::string_view name,
+                                               std::span<const problem_input> inputs,
+                                               const context& ctx, const batch_options& opts) {
+  return run_batch_impl(
+      find_solver(name), inputs.size(),
+      [&inputs](size_t i) -> const problem_input& { return inputs[i]; }, ctx, opts);
+}
+
+batch_result<solver_value> registry::run_batch(std::string_view name, const problem_input& input,
+                                               size_t count, const context& ctx,
+                                               const batch_options& opts) {
+  return run_batch_impl(
+      find_solver(name), count, [&input](size_t) -> const problem_input& { return input; }, ctx,
+      opts);
+}
+
+namespace {
+
+// Shared body of both envelope serializers: the members of one run.
+void write_run(json::writer& w, const run_result<solver_value>& r) {
+  w.member("solver", r.solver);
+  w.member("backend", backend_name(r.backend));
+  w.member("workers", static_cast<uint64_t>(r.workers));
+  w.member("seed", r.seed);
+  w.member("seconds", r.seconds);
+  w.member("score", score_of(r.value));
+  w.member("summary", summary_of(r.value));
+  w.key("stats").begin_object();
+  w.member("rounds", static_cast<uint64_t>(r.stats.rounds));
+  w.member("processed", static_cast<uint64_t>(r.stats.processed));
+  w.member("wakeup_attempts", static_cast<uint64_t>(r.stats.wakeup_attempts));
+  w.member("max_frontier", static_cast<uint64_t>(r.stats.max_frontier));
+  w.member("substeps", static_cast<uint64_t>(r.stats.substeps));
+  w.member("relaxations", static_cast<uint64_t>(r.stats.relaxations));
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const run_result<solver_value>& r) {
+  json::writer w;
+  w.begin_object();
+  write_run(w, r);
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const batch_result<solver_value>& b) {
+  json::writer w;
+  w.begin_object();
+  w.member("solver", b.solver);
+  w.member("backend", backend_name(b.backend));
+  w.member("workers", static_cast<uint64_t>(b.workers));
+  w.member("seed", b.seed);
+  w.member("count", static_cast<uint64_t>(b.count()));
+  w.member("total_seconds", b.total_seconds);
+  w.member("min_seconds", b.min_seconds);
+  w.member("mean_seconds", b.mean_seconds);
+  w.member("p95_seconds", b.p95_seconds);
+  w.member("total_rounds", static_cast<uint64_t>(b.total_rounds));
+  w.key("scores").begin_array();
+  for (int64_t s : b.scores) w.value(s);
+  w.end_array();
+  w.key("items").begin_array();
+  for (const auto& item : b.items) {
+    w.begin_object();
+    write_run(w, item);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 namespace {

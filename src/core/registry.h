@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -107,6 +108,13 @@ int64_t score_of(const solver_value& v);
 // One-line human-readable summary of the payload.
 std::string summary_of(const solver_value& v);
 
+// Machine-readable envelopes (core/json.h writer; no external deps). The
+// batch form nests every per-item envelope under "items" plus the
+// aggregate seconds/rounds/scores, so CI can track the perf trajectory of
+// a whole batch from one document.
+std::string to_json(const run_result<solver_value>& r);
+std::string to_json(const batch_result<solver_value>& b);
+
 // ---- The registry -----------------------------------------------------------
 
 struct solver_info {
@@ -145,6 +153,26 @@ class registry {
   static run_result<solver_value> run(std::string_view name, const problem_input& input,
                                       const context& ctx = default_context());
 
+  // Batched dispatch: run `name` on every input under ONE run_scope (one
+  // scoped_context + one scheduler binding), so the pool lease / OpenMP
+  // team warm-up is paid once per batch instead of once per item — the
+  // serving-traffic shape. Item i executes under
+  // ctx.with_seed(derive_seed(ctx.seed, i)) (unless opts.derive_seeds is
+  // off), so results are independent of opts.order and reproducible
+  // item-by-item with plain run() calls. Items land in `items`/`scores`
+  // at their input index regardless of execution order. Throws like run().
+  static batch_result<solver_value> run_batch(std::string_view name,
+                                              std::span<const problem_input> inputs,
+                                              const context& ctx = default_context(),
+                                              const batch_options& opts = {});
+
+  // Repeat one input `count` times without copying it (the --repeats
+  // shape; combine with opts.derive_seeds=false for identical repeats).
+  static batch_result<solver_value> run_batch(std::string_view name, const problem_input& input,
+                                              size_t count,
+                                              const context& ctx = default_context(),
+                                              const batch_options& opts = {});
+
  private:
   registry() = default;
 
@@ -156,6 +184,17 @@ class registry {
     problem_info info;
     input_fn make;
   };
+
+  // Lookup for the static dispatchers; throws std::out_of_range on an
+  // unknown name.
+  static const solver_entry& find_solver(std::string_view name);
+
+  // Shared core of both run_batch overloads: `input_at(i)` supplies item
+  // i's input (a span element, or the same input `count` times).
+  static batch_result<solver_value> run_batch_impl(
+      const solver_entry& e, size_t count,
+      const std::function<const problem_input&(size_t)>& input_at, const context& ctx,
+      const batch_options& opts);
 
   std::map<std::string, solver_entry, std::less<>> solvers_;
   std::map<std::string, problem_entry, std::less<>> problems_;

@@ -1,16 +1,26 @@
-// Uniform result envelope for every solver run.
+// Uniform result envelopes for every solver run.
 //
 // `run_result<T>` wraps a solver's typed payload (lis_result, sssp_result,
 // ...) together with the cross-cutting facts every caller wants: the phase
 // statistics, wall-clock time, and the context facts (backend, seed) the
 // run was executed under. The registry (core/registry.h) returns these for
 // every dispatch; `run_timed` builds one around any direct solver call.
+//
+// `batch_result<T>` is the batched counterpart: the per-item envelopes of
+// one registry::run_batch dispatch plus the aggregate facts a serving
+// pipeline tracks (total/min/mean/p95 seconds, summed phase rounds,
+// per-item canonical scores). All items of a batch execute under one
+// scheduler binding, so aggregate seconds measure solve time only — the
+// pool lease and team warm-up are paid once, outside every item's clock.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <string>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "core/context.h"
 #include "core/stats.h"
@@ -28,6 +38,66 @@ struct run_result {
   uint64_t seed = 0;                            // seed the run used
   unsigned workers = 0;  // actual worker count the run executed on
   std::string solver;                           // registry name, e.g. "lis/parallel"
+};
+
+// How registry::run_batch walks a batch.
+struct batch_options {
+  enum class item_order {
+    as_given,  // execute items in input order
+    shuffled,  // execute in a seed-derived permutation (results still
+               // reported in input order, and — with derived seeds —
+               // identical to the as_given results item-for-item)
+  };
+  item_order order = item_order::as_given;
+  // true: item i executes under derive_seed(ctx.seed, i), so items are
+  // independent and the whole batch is reproducible from one base seed.
+  // false: every item runs under ctx.seed verbatim (the --repeats shape:
+  // the same measurement repeated, not a batch of independent tasks).
+  bool derive_seeds = true;
+};
+
+inline const char* item_order_name(batch_options::item_order o) {
+  return o == batch_options::item_order::as_given ? "as_given" : "shuffled";
+}
+
+template <typename T>
+struct batch_result {
+  std::vector<run_result<T>> items;  // index-aligned with the input span
+  std::vector<int64_t> scores;       // canonical per-item score (score_of)
+
+  // Aggregates over items[*].seconds / .stats (recompute_aggregates()).
+  double total_seconds = 0.0;  // sum of per-item solve times
+  double min_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double p95_seconds = 0.0;  // nearest-rank 95th percentile
+  size_t total_rounds = 0;   // summed phase rounds across items
+
+  backend_kind backend = backend_kind::native;  // backend the batch used
+  uint64_t seed = 0;      // base seed (items derive from it by index)
+  unsigned workers = 0;   // width of the one scheduler binding
+  std::string solver;     // registry name, e.g. "lis/parallel"
+
+  size_t count() const { return items.size(); }
+
+  // Refresh the timing/round aggregates from `items`. Called by
+  // run_batch; call again after mutating items by hand.
+  void recompute_aggregates() {
+    total_seconds = min_seconds = mean_seconds = p95_seconds = 0.0;
+    total_rounds = 0;
+    if (items.empty()) return;
+    std::vector<double> secs;
+    secs.reserve(items.size());
+    for (const auto& it : items) {
+      secs.push_back(it.seconds);
+      total_seconds += it.seconds;
+      total_rounds += it.stats.rounds;
+    }
+    std::sort(secs.begin(), secs.end());
+    min_seconds = secs.front();
+    mean_seconds = total_seconds / static_cast<double>(secs.size());
+    size_t rank = (secs.size() * 95 + 99) / 100;  // ceil(0.95 n), nearest-rank
+    p95_seconds = secs[rank == 0 ? 0 : rank - 1];
+  }
 };
 
 // Run fn(ctx) under `ctx` (fn must accept a const context&), time it, and

@@ -197,6 +197,7 @@ pool_cache& pool_cache::instance() {
 
 work_stealing_pool* pool_cache::acquire(unsigned width) {
   if (width < 1) width = 1;
+  acquires_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(m_);
     auto& idle = idle_[width];

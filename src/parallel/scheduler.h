@@ -149,12 +149,18 @@ class pool_cache {
   size_t pools_created() const;
   size_t pools_idle() const;
 
+  // Total leases ever granted (acquire() calls). The honest amortization
+  // metric for batching: a K-item registry::run_batch grants one lease
+  // where a loop of K registry::run calls grants K.
+  uint64_t acquires() const { return acquires_.load(std::memory_order_relaxed); }
+
  private:
   pool_cache() = default;
 
   mutable std::mutex m_;
   std::vector<std::unique_ptr<work_stealing_pool>> all_;
   std::unordered_map<unsigned, std::vector<work_stealing_pool*>> idle_;
+  std::atomic<uint64_t> acquires_{0};
 };
 
 // RAII lease: acquires a pool of `width` workers from the cache and pins

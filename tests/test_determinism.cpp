@@ -123,6 +123,67 @@ TEST(Determinism, ResultsIndependentOfWorkerCount) {
   }
 }
 
+TEST(Determinism, BatchMatchesSequentialLoopForEverySolver) {
+  // ISSUE 3 acceptance: for EVERY registered solver, run_batch under a
+  // parallel backend at workers in {1, 2, hw} produces score-for-score the
+  // results of a plain loop of registry::run on the sequential backend
+  // with the same derived per-item seeds. Batching amortizes dispatch; it
+  // must never change answers.
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  const unsigned widths[] = {1u, 2u, hw};
+  const uint64_t base_seed = 77;
+  const size_t n = 400;
+  const size_t k = 3;  // items per batch
+
+  std::vector<backend_kind> parallel_backends;
+  for (auto b : kBackends)
+    if (b != backend_kind::sequential) parallel_backends.push_back(b);
+
+  auto& reg = registry::instance();
+  for (const auto& s : reg.solvers()) {
+    std::vector<pp::problem_input> inputs;
+    for (size_t i = 0; i < k; ++i)
+      inputs.push_back(reg.make_input(s.problem, n, 1000 + i));
+
+    // Sequential-loop reference, one run per item under the derived seed.
+    std::vector<int64_t> ref_scores;
+    for (size_t i = 0; i < k; ++i) {
+      auto res = registry::run(
+          s.name, inputs[i],
+          ctx_for(backend_kind::sequential, pp::derive_seed(base_seed, i)));
+      ref_scores.push_back(pp::score_of(res.value));
+    }
+
+    for (auto b : parallel_backends) {
+      for (unsigned w : widths) {
+        auto batch =
+            registry::run_batch(s.name, inputs, ctx_for(b, base_seed).with_workers(w));
+        EXPECT_EQ(batch.workers, w) << s.name << "/" << pp::backend_name(b);
+        EXPECT_EQ(batch.scores, ref_scores)
+            << s.name << "/" << pp::backend_name(b) << " workers=" << w;
+      }
+    }
+  }
+}
+
+TEST(Determinism, BatchSeedDerivationIsTheDocumentedRule) {
+  // Re-running item i standalone under derive_seed(base, i) reproduces the
+  // batch item exactly — full payload, not just the score.
+  auto& reg = registry::instance();
+  std::vector<pp::problem_input> inputs;
+  for (uint64_t s : {51u, 52u, 53u}) inputs.push_back(reg.make_input("lis", 2'000, s));
+  auto batch =
+      registry::run_batch("lis/parallel", inputs, ctx_for(backend_kind::native, 19));
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto solo = registry::run("lis/parallel", inputs[i],
+                              ctx_for(backend_kind::native, pp::derive_seed(19, i)));
+    EXPECT_EQ(std::get<pp::lis_result>(batch.items[i].value).dp,
+              std::get<pp::lis_result>(solo.value).dp)
+        << i;
+  }
+}
+
 TEST(Determinism, SameContextTwiceIsIdentical) {
   auto in = registry::instance().make_input("lis", 3'000, 41);
   for (auto b : kBackends) {

@@ -176,6 +176,135 @@ TEST(Registry, AllSolversOfAProblemAgree) {
   }
 }
 
+TEST(RegistryBatch, EnvelopeAndAggregates) {
+  auto& reg = registry::instance();
+  std::vector<pp::problem_input> inputs;
+  for (uint64_t s : {1u, 2u, 3u}) inputs.push_back(reg.make_input("lis", 1'500, s));
+  pp::context ctx = pp::context{}.with_backend(pp::backend_kind::native).with_seed(9);
+
+  auto batch = registry::run_batch("lis/parallel", inputs, ctx);
+  ASSERT_EQ(batch.count(), 3u);
+  ASSERT_EQ(batch.scores.size(), 3u);
+  EXPECT_EQ(batch.solver, "lis/parallel");
+  EXPECT_EQ(batch.backend, pp::backend_kind::native);
+  EXPECT_EQ(batch.seed, 9u);
+  EXPECT_GE(batch.workers, 1u);
+
+  double total = 0;
+  size_t rounds = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    const auto& item = batch.items[i];
+    // item i executed under the derived seed — the public batching contract
+    EXPECT_EQ(item.seed, pp::derive_seed(9, i)) << i;
+    EXPECT_EQ(item.solver, "lis/parallel");
+    EXPECT_EQ(item.workers, batch.workers);
+    EXPECT_EQ(batch.scores[i], pp::score_of(item.value));
+    EXPECT_GT(item.stats.rounds, 0u);
+    total += item.seconds;
+    rounds += item.stats.rounds;
+  }
+  EXPECT_DOUBLE_EQ(batch.total_seconds, total);
+  EXPECT_EQ(batch.total_rounds, rounds);
+  EXPECT_LE(batch.min_seconds, batch.mean_seconds);
+  EXPECT_LE(batch.mean_seconds, batch.total_seconds);
+  EXPECT_GE(batch.p95_seconds, batch.min_seconds);
+  EXPECT_NEAR(batch.mean_seconds, total / 3.0, 1e-12);
+}
+
+TEST(RegistryBatch, MatchesLoopOfRuns) {
+  // The amortized path must be invisible to results: batch item i ==
+  // registry::run under the derived seed, score for score.
+  auto& reg = registry::instance();
+  std::vector<pp::problem_input> inputs;
+  for (uint64_t s : {5u, 6u, 7u, 8u}) inputs.push_back(reg.make_input("sssp", 1'000, s));
+  pp::context ctx = pp::context{}.with_backend(pp::backend_kind::native).with_seed(13);
+
+  auto batch = registry::run_batch("sssp/phase_parallel", inputs, ctx);
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto solo = registry::run("sssp/phase_parallel", inputs[i],
+                              ctx.with_seed(pp::derive_seed(13, i)));
+    EXPECT_EQ(batch.scores[i], pp::score_of(solo.value)) << i;
+    EXPECT_EQ(batch.items[i].stats.rounds, solo.stats.rounds) << i;
+  }
+}
+
+TEST(RegistryBatch, ShuffledOrderSameResultsPerIndex) {
+  auto& reg = registry::instance();
+  std::vector<pp::problem_input> inputs;
+  for (uint64_t s : {11u, 12u, 13u, 14u, 15u}) inputs.push_back(reg.make_input("lis", 1'000, s));
+  pp::context ctx = pp::context{}.with_backend(pp::backend_kind::native).with_seed(21);
+
+  auto given = registry::run_batch("lis/parallel", inputs, ctx);
+  pp::batch_options shuffled;
+  shuffled.order = pp::batch_options::item_order::shuffled;
+  auto shuf = registry::run_batch("lis/parallel", inputs, ctx, shuffled);
+  EXPECT_EQ(given.scores, shuf.scores);
+  for (size_t i = 0; i < inputs.size(); ++i)
+    EXPECT_EQ(given.items[i].seed, shuf.items[i].seed) << i;
+}
+
+TEST(RegistryBatch, RepeatOverloadSharesOneInput) {
+  auto in = registry::instance().make_input("lis", 1'200, 31);
+  pp::context ctx = pp::context{}.with_backend(pp::backend_kind::native).with_seed(31);
+  pp::batch_options opts;
+  opts.derive_seeds = false;  // the --repeats shape: identical context every time
+  auto batch = registry::run_batch("lis/parallel", in, 4, ctx, opts);
+  ASSERT_EQ(batch.count(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch.items[i].seed, 31u) << i;
+    EXPECT_EQ(batch.scores[i], batch.scores[0]) << i;
+    EXPECT_EQ(batch.items[i].stats.rounds, batch.items[0].stats.rounds) << i;
+  }
+}
+
+TEST(RegistryBatch, EmptyBatchIsValid) {
+  auto batch = registry::run_batch("lis/parallel", std::span<const pp::problem_input>{});
+  EXPECT_EQ(batch.count(), 0u);
+  EXPECT_EQ(batch.total_seconds, 0.0);
+  EXPECT_EQ(batch.total_rounds, 0u);
+}
+
+TEST(RegistryBatch, ErrorsMatchRunErrors) {
+  auto in = registry::instance().make_input("huffman", 200, 1);
+  std::vector<pp::problem_input> inputs{in};
+  EXPECT_THROW(registry::run_batch("lis/no_such_variant", inputs), std::out_of_range);
+  EXPECT_THROW(registry::run_batch("lis/parallel", inputs), std::invalid_argument);
+}
+
+TEST(RegistryJson, RunEnvelopeSerializes) {
+  auto in = registry::instance().make_input("lis", 800, 3);
+  auto res = registry::run("lis/parallel", in,
+                           pp::context{}.with_backend(pp::backend_kind::native).with_seed(3));
+  std::string j = pp::to_json(res);
+  EXPECT_NE(j.find("\"solver\": \"lis/parallel\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"backend\": \"native\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"seed\": 3"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"score\": "), std::string::npos) << j;
+  EXPECT_NE(j.find("\"stats\": {"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"rounds\": "), std::string::npos) << j;
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+TEST(RegistryJson, BatchEnvelopeSerializes) {
+  auto& reg = registry::instance();
+  std::vector<pp::problem_input> inputs;
+  for (uint64_t s : {1u, 2u, 3u}) inputs.push_back(reg.make_input("lis", 600, s));
+  auto batch = registry::run_batch("lis/parallel", inputs);
+  std::string j = pp::to_json(batch);
+  EXPECT_NE(j.find("\"count\": 3"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"items\": ["), std::string::npos) << j;
+  EXPECT_NE(j.find("\"scores\": ["), std::string::npos) << j;
+  EXPECT_NE(j.find("\"total_seconds\": "), std::string::npos) << j;
+  EXPECT_NE(j.find("\"p95_seconds\": "), std::string::npos) << j;
+  // one per-item envelope per input
+  size_t count = 0;
+  for (size_t pos = 0; (pos = j.find("\"solver\": \"lis/parallel\"", pos)) != std::string::npos;
+       ++pos)
+    ++count;
+  EXPECT_EQ(count, 4u);  // the batch header + 3 items
+}
+
 TEST(Registry, EveryRegisteredSolverRunsOnItsDefaultInput) {
   auto& reg = registry::instance();
   std::map<std::string, pp::problem_input> inputs;

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/registry.h"
 #include "parallel/api.h"
 #include "test_backends.h"
 
@@ -221,6 +222,49 @@ TEST(Scheduler, NestedRunReusesPinnedPool) {
   EXPECT_EQ(pp::detail::this_thread_pool(), pinned);
   EXPECT_EQ(s2.workers(), 2u);
   EXPECT_EQ(pp::num_workers(inner), 2u);  // honest: reports the pinned width
+}
+
+TEST(Scheduler, BatchHoldsOneLeaseLoopPaysPerRun) {
+  // The point of the batched pipeline: K items through run_batch cost ONE
+  // pool lease; the same K items as a loop of registry::run cost K.
+  auto& reg = pp::registry::instance();
+  auto& cache = pp::detail::pool_cache::instance();
+  constexpr size_t kItems = 8;
+  std::vector<pp::problem_input> inputs;
+  for (size_t i = 0; i < kItems; ++i) inputs.push_back(reg.make_input("lis", 500, 40 + i));
+  pp::context ctx = pp::context{}.with_backend(pp::backend_kind::native).with_workers(2);
+
+  uint64_t before = cache.acquires();
+  auto batch = pp::registry::run_batch("lis/parallel", inputs, ctx);
+  EXPECT_EQ(cache.acquires() - before, 1u);
+  EXPECT_EQ(batch.count(), kItems);
+
+  before = cache.acquires();
+  for (size_t i = 0; i < kItems; ++i)
+    pp::registry::run("lis/parallel", inputs[i], ctx.with_seed(pp::derive_seed(ctx.seed, i)));
+  EXPECT_EQ(cache.acquires() - before, kItems);
+}
+
+TEST(Scheduler, BatchNestsInsideEnclosingRun) {
+  // run_batch from inside an already-scheduled run (a server request
+  // handler that batches sub-tasks): the batch scope must reuse the pinned
+  // pool — no second lease — and must not register as a racing top-level
+  // scope with a conflicting config.
+  auto& reg = pp::registry::instance();
+  auto& cache = pp::detail::pool_cache::instance();
+  std::vector<pp::problem_input> inputs;
+  for (size_t i = 0; i < 3; ++i) inputs.push_back(reg.make_input("lis", 500, 60 + i));
+
+  pp::context outer = pp::context{}.with_backend(pp::backend_kind::native).with_workers(2);
+  pp::run_scope enclosing(outer);
+  uint64_t before = cache.acquires();
+  uint64_t conflicts_before = pp::detail::scope_conflicts();
+  // The nested batch even asks for a different width; it stays pinned.
+  auto batch = pp::registry::run_batch("lis/parallel", inputs, outer.with_workers(4));
+  EXPECT_EQ(cache.acquires() - before, 0u);
+  EXPECT_EQ(batch.workers, 2u);  // honest: the pinned width, not the request
+  EXPECT_EQ(pp::detail::scope_conflicts(), conflicts_before);
+  EXPECT_EQ(batch.count(), 3u);
 }
 
 TEST(Scheduler, UnbalancedForkJoin) {

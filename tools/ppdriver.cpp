@@ -3,18 +3,33 @@
 //   ppdriver list                      # all solvers (name, problem, description)
 //   ppdriver problems                  # all problems + default input descriptors
 //   ppdriver run <solver> [options]    # generate an input, run, print the envelope
+//   ppdriver batch <solver> [options]  # generate K inputs, run them as one batch
 //
-// run options:
+// shared options:
 //   --n N              input size (default 100000)
-//   --seed S           input + execution seed (default 1)
+//   --seed S           base seed (default 1): input i is built from
+//                      derive_seed(S, i) for batch, S for run; execution
+//                      seeds follow the same rule
 //   --backend B        native | openmp | sequential   (default: process default)
 //   --workers W        worker count (0 = backend default)
 //   --grain G          parallel_for grain (0 = auto)
 //   --pivot P          rightmost | random   (Type-2 pivot policy)
-//   --repeats R        run R times, report min/mean seconds (default 1)
+//   --json             print the machine-readable envelope instead of text
 //
-// Example:
+// run options:
+//   --repeats R        run R times through run_batch (one pool lease, same
+//                      input + seed each repeat); every repeat's envelope
+//                      survives into --json output, which is always the
+//                      batch envelope (count == R, even for R = 1)
+//
+// batch options:
+//   --count K          number of inputs in the batch (default 8)
+//   --order O          as_given | shuffled   (execution order; results are
+//                      identical either way)
+//
+// Examples:
 //   ppdriver run lis/parallel --n 1000000 --backend openmp --workers 8
+//   ppdriver batch lis/parallel --count 8 --n 20000 --json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,9 +43,14 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s list | problems | run <solver> [--n N] [--seed S] [--backend B]\n"
-               "       [--workers W] [--grain G] [--pivot rightmost|random] [--repeats R]\n",
-               argv0);
+               "usage: %s list | problems\n"
+               "       %s run <solver>   [--n N] [--seed S] [--backend B] [--workers W]\n"
+               "                         [--grain G] [--pivot rightmost|random]\n"
+               "                         [--repeats R] [--json]\n"
+               "       %s batch <solver> [--count K] [--n N] [--seed S] [--backend B]\n"
+               "                         [--workers W] [--grain G] [--pivot rightmost|random]\n"
+               "                         [--order as_given|shuffled] [--json]\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -48,13 +68,19 @@ int cmd_problems() {
   return 0;
 }
 
-int cmd_run(int argc, char** argv) {
-  if (argc < 3) return usage(argv[0]);
-  std::string solver = argv[2];
+// Options shared by `run` and `batch`.
+struct cli_options {
   size_t n = 100'000;
-  int repeats = 1;
+  int repeats = 1;       // run only
+  size_t count = 8;      // batch only
+  bool json = false;
+  pp::batch_options::item_order order = pp::batch_options::item_order::as_given;
   pp::context ctx = pp::default_context();
+};
 
+// Parse argv[3..] into `opt`; `batch_mode` gates the per-command flags.
+// Returns 0 on success, else the exit code.
+int parse_options(int argc, char** argv, bool batch_mode, cli_options& opt) {
   for (int i = 3; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -64,9 +90,9 @@ int cmd_run(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(argv[i], "--n") == 0) {
-      n = static_cast<size_t>(std::strtoull(need("--n"), nullptr, 10));
+      opt.n = static_cast<size_t>(std::strtoull(need("--n"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      ctx.seed = std::strtoull(need("--seed"), nullptr, 10);
+      opt.ctx.seed = std::strtoull(need("--seed"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--backend") == 0) {
       const char* b = need("--backend");
       auto kind = pp::parse_backend(b);
@@ -74,71 +100,157 @@ int cmd_run(int argc, char** argv) {
         std::fprintf(stderr, "%s: unknown backend '%s'\n", argv[0], b);
         return 2;
       }
-      ctx.backend = *kind;
+      opt.ctx.backend = *kind;
     } else if (std::strcmp(argv[i], "--workers") == 0) {
-      ctx.workers = static_cast<unsigned>(std::strtoul(need("--workers"), nullptr, 10));
+      opt.ctx.workers = static_cast<unsigned>(std::strtoul(need("--workers"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--grain") == 0) {
-      ctx.grain = static_cast<size_t>(std::strtoull(need("--grain"), nullptr, 10));
+      opt.ctx.grain = static_cast<size_t>(std::strtoull(need("--grain"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--pivot") == 0) {
       const char* p = need("--pivot");
       if (std::strcmp(p, "rightmost") == 0) {
-        ctx.pivot = pp::pivot_policy::rightmost;
+        opt.ctx.pivot = pp::pivot_policy::rightmost;
       } else if (std::strcmp(p, "random") == 0 || std::strcmp(p, "uniform_random") == 0) {
-        ctx.pivot = pp::pivot_policy::uniform_random;
+        opt.ctx.pivot = pp::pivot_policy::uniform_random;
       } else {
         std::fprintf(stderr, "%s: unknown pivot policy '%s'\n", argv[0], p);
         return 2;
       }
-    } else if (std::strcmp(argv[i], "--repeats") == 0) {
-      repeats = std::atoi(need("--repeats"));
-      if (repeats < 1) repeats = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json = true;
+    } else if (!batch_mode && std::strcmp(argv[i], "--repeats") == 0) {
+      opt.repeats = std::atoi(need("--repeats"));
+      if (opt.repeats < 1) opt.repeats = 1;
+    } else if (batch_mode && std::strcmp(argv[i], "--count") == 0) {
+      opt.count = static_cast<size_t>(std::strtoull(need("--count"), nullptr, 10));
+      if (opt.count < 1) opt.count = 1;
+    } else if (batch_mode && std::strcmp(argv[i], "--order") == 0) {
+      const char* o = need("--order");
+      if (std::strcmp(o, "as_given") == 0) {
+        opt.order = pp::batch_options::item_order::as_given;
+      } else if (std::strcmp(o, "shuffled") == 0) {
+        opt.order = pp::batch_options::item_order::shuffled;
+      } else {
+        std::fprintf(stderr, "%s: unknown order '%s'\n", argv[0], o);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], argv[i]);
       return 2;
     }
   }
+  return 0;
+}
 
+// Resolve a solver name to its problem, or exit with a hint.
+std::string problem_of(const char* argv0, const std::string& solver) {
   auto& reg = pp::registry::instance();
   if (!reg.contains(solver)) {
-    std::fprintf(stderr, "%s: unknown solver '%s' (try '%s list')\n", argv[0], solver.c_str(),
-                 argv[0]);
-    return 1;
+    std::fprintf(stderr, "%s: unknown solver '%s' (try '%s list')\n", argv0, solver.c_str(),
+                 argv0);
+    std::exit(1);
   }
-  std::string problem;
   for (const auto& s : reg.solvers())
-    if (s.name == solver) problem = s.problem;
+    if (s.name == solver) return s.problem;
+  return {};
+}
 
-  auto input = reg.make_input(problem, n, ctx.seed);
-
-  double min_s = 1e100, sum_s = 0;
-  pp::run_result<pp::solver_value> last;
-  for (int rep = 0; rep < repeats; ++rep) {
-    last = pp::registry::run(solver, input, ctx);
-    min_s = std::min(min_s, last.seconds);
-    sum_s += last.seconds;
-  }
-
-  std::printf("solver   = %s\n", last.solver.c_str());
+void print_envelope_text(const pp::run_result<pp::solver_value>& r, const std::string& problem,
+                         size_t n, const pp::context& ctx) {
+  std::printf("solver   = %s\n", r.solver.c_str());
   std::printf("problem  = %s (n = %zu, seed = %llu)\n", problem.c_str(), n,
               static_cast<unsigned long long>(ctx.seed));
-  // last.workers is the width the run *actually* executed on (pool lease /
+  // r.workers is the width the run *actually* executed on (pool lease /
   // omp num_threads), not a pre-run guess from the context.
   std::printf("backend  = %s (workers = %u, grain = %zu, pivot = %s)\n",
-              std::string(pp::backend_name(last.backend)).c_str(), last.workers,
-              ctx.grain, pp::pivot_policy_name(ctx.pivot));
-  std::printf("result   = %s\n", pp::summary_of(last.value).c_str());
-  std::printf("score    = %lld\n", static_cast<long long>(pp::score_of(last.value)));
-  if (repeats > 1) {
-    std::printf("time     = %.6f s min, %.6f s mean over %d runs\n", min_s,
-                sum_s / repeats, repeats);
-  } else {
-    std::printf("time     = %.6f s\n", last.seconds);
-  }
-  const auto& st = last.stats;
+              std::string(pp::backend_name(r.backend)).c_str(), r.workers, ctx.grain,
+              pp::pivot_policy_name(ctx.pivot));
+  std::printf("result   = %s\n", pp::summary_of(r.value).c_str());
+  std::printf("score    = %lld\n", static_cast<long long>(pp::score_of(r.value)));
+}
+
+void print_stats_text(const pp::phase_stats& st) {
   std::printf("stats    = rounds %zu, processed %zu, max_frontier %zu, wakeups %zu, "
               "substeps %zu, relaxations %zu\n",
               st.rounds, st.processed, st.max_frontier, st.wakeup_attempts, st.substeps,
               st.relaxations);
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  std::string solver = argv[2];
+  cli_options opt;
+  if (int rc = parse_options(argc, argv, /*batch_mode=*/false, opt); rc != 0) return rc;
+
+  std::string problem = problem_of(argv[0], solver);
+  auto input = pp::registry::instance().make_input(problem, opt.n, opt.ctx.seed);
+
+  // Repeats flow through run_batch with seed derivation off: one pool
+  // lease for all repeats, each executing under the identical context, and
+  // every repeat's envelope kept (not just min/mean scalars).
+  pp::batch_options bopts;
+  bopts.derive_seeds = false;
+  auto batch = pp::registry::run_batch(solver, input, static_cast<size_t>(opt.repeats), opt.ctx,
+                                       bopts);
+
+  if (opt.json) {
+    // Always the batch envelope (count == repeats), so consumers get one
+    // stable schema whether R is 1 or 100.
+    std::printf("%s\n", pp::to_json(batch).c_str());
+    return 0;
+  }
+  const auto& last = batch.items.back();
+  print_envelope_text(last, problem, opt.n, opt.ctx);
+  if (opt.repeats > 1) {
+    std::printf("time     = %.6f s min, %.6f s mean over %d runs\n", batch.min_seconds,
+                batch.mean_seconds, opt.repeats);
+  } else {
+    std::printf("time     = %.6f s\n", last.seconds);
+  }
+  print_stats_text(last.stats);
+  return 0;
+}
+
+int cmd_batch(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  std::string solver = argv[2];
+  cli_options opt;
+  opt.n = 20'000;  // batches are many inputs; default each one smaller
+  if (int rc = parse_options(argc, argv, /*batch_mode=*/true, opt); rc != 0) return rc;
+
+  std::string problem = problem_of(argv[0], solver);
+  auto& reg = pp::registry::instance();
+
+  // K independent instances of the problem, each built from the seed its
+  // item will also execute under — one rule for the whole batch.
+  std::vector<pp::problem_input> inputs;
+  inputs.reserve(opt.count);
+  for (size_t i = 0; i < opt.count; ++i)
+    inputs.push_back(reg.make_input(problem, opt.n, pp::derive_seed(opt.ctx.seed, i)));
+
+  pp::batch_options bopts;
+  bopts.order = opt.order;
+  auto batch = pp::registry::run_batch(solver, inputs, opt.ctx, bopts);
+
+  if (opt.json) {
+    std::printf("%s\n", pp::to_json(batch).c_str());
+    return 0;
+  }
+  std::printf("solver   = %s\n", batch.solver.c_str());
+  std::printf("problem  = %s (count = %zu, n = %zu each, base seed = %llu, order = %s)\n",
+              problem.c_str(), batch.count(), opt.n,
+              static_cast<unsigned long long>(opt.ctx.seed), pp::item_order_name(opt.order));
+  std::printf("backend  = %s (workers = %u, grain = %zu, pivot = %s)\n",
+              std::string(pp::backend_name(batch.backend)).c_str(), batch.workers, opt.ctx.grain,
+              pp::pivot_policy_name(opt.ctx.pivot));
+  std::printf("time     = %.6f s total, %.6f s min, %.6f s mean, %.6f s p95\n",
+              batch.total_seconds, batch.min_seconds, batch.mean_seconds, batch.p95_seconds);
+  std::printf("rounds   = %zu total\n", batch.total_rounds);
+  for (size_t i = 0; i < batch.count(); ++i) {
+    std::printf("item %-4zu seed=%llu score=%lld seconds=%.6f rounds=%zu\n", i,
+                static_cast<unsigned long long>(batch.items[i].seed),
+                static_cast<long long>(batch.scores[i]), batch.items[i].seconds,
+                batch.items[i].stats.rounds);
+  }
   return 0;
 }
 
@@ -150,6 +262,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "list") == 0) return cmd_list();
     if (std::strcmp(argv[1], "problems") == 0) return cmd_problems();
     if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
+    if (std::strcmp(argv[1], "batch") == 0) return cmd_batch(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     return 1;
