@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "parallel/backend.h"
@@ -113,10 +114,43 @@ namespace detail {
 // concurrent scopes can never restore a pointer into a dead stack frame:
 // worst case two racing top-level runs observe each other's context (the
 // same last-writer-wins semantics the old atomic backend flag had), never
-// undefined behavior.
-inline std::atomic<std::shared_ptr<const context>>& current_context_slot() {
-  static std::atomic<std::shared_ptr<const context>> p{nullptr};
+// undefined behavior. The slot is a shared_mutex-guarded shared_ptr
+// rather than std::atomic<shared_ptr>: readers (every implicit
+// parallel_for/par_do entry) take a shared lock, writers (scope
+// install/restore, already serialized on the scope registry mutex) take
+// it exclusively. libstdc++'s atomic<shared_ptr> synchronizes through an
+// internal spin bit ThreadSanitizer cannot model, which made every
+// concurrent serving run (src/serve/) a TSan false positive; the rwlock
+// costs the same order of magnitude per read and is fully TSan-visible.
+inline std::shared_mutex& slot_mutex() {
+  static std::shared_mutex m;
+  return m;
+}
+inline std::shared_ptr<const context>& slot_ref() {
+  static std::shared_ptr<const context> p;
   return p;
+}
+inline std::shared_ptr<const context> slot_load() {
+  std::shared_lock<std::shared_mutex> lk(slot_mutex());
+  return slot_ref();
+}
+inline std::shared_ptr<const context> slot_exchange(std::shared_ptr<const context> p) {
+  std::unique_lock<std::shared_mutex> lk(slot_mutex());
+  std::swap(slot_ref(), p);
+  return p;
+}
+inline void slot_store(std::shared_ptr<const context> p) {
+  std::unique_lock<std::shared_mutex> lk(slot_mutex());
+  slot_ref() = std::move(p);
+}
+// Store `desired` iff the slot still holds `expected`; returns whether it
+// did. (The compare-exchange of the restore path.)
+inline bool slot_compare_store(const std::shared_ptr<const context>& expected,
+                               std::shared_ptr<const context> desired) {
+  std::unique_lock<std::shared_mutex> lk(slot_mutex());
+  if (slot_ref() != expected) return false;
+  slot_ref() = std::move(desired);
+  return true;
 }
 
 // ---- Scope-race detector ----------------------------------------------------
@@ -173,8 +207,7 @@ inline uint64_t scope_conflicts() {
 // innermost active scoped_context, or the process defaults when none is
 // active.
 inline context current_context() {
-  std::shared_ptr<const context> p =
-      detail::current_context_slot().load(std::memory_order_acquire);
+  std::shared_ptr<const context> p = detail::slot_load();
   return p ? *p : default_context();
 }
 
@@ -205,7 +238,7 @@ class scoped_context {
                  omp_in_parallel() == 0;
     detail::scope_registry& r = detail::scopes();
     std::lock_guard<std::mutex> lk(r.m);
-    saved_ = detail::current_context_slot().exchange(installed_, std::memory_order_acq_rel);
+    saved_ = detail::slot_exchange(installed_);
     if (!top_level_) return;
     if (r.live.empty()) r.episode_base = saved_;
     bool conflict = false;
@@ -242,8 +275,7 @@ class scoped_context {
         // Last top-level scope of the overlap episode: restore the slot to
         // its pre-episode state regardless of exit order — a saved_-chain
         // restore could point at a scope that died earlier in the race.
-        detail::current_context_slot().store(std::move(r.episode_base),
-                                             std::memory_order_release);
+        detail::slot_store(std::move(r.episode_base));
         r.episode_base.reset();
         return;
       }
@@ -252,9 +284,7 @@ class scoped_context {
     // restore only if the slot still holds our context. If a racing scope
     // replaced it, leaving the slot alone keeps the *live* run's context
     // installed instead of yanking it back to ours mid-run.
-    std::shared_ptr<const context> expected = installed_;
-    detail::current_context_slot().compare_exchange_strong(
-        expected, std::move(saved_), std::memory_order_acq_rel, std::memory_order_acquire);
+    detail::slot_compare_store(installed_, std::move(saved_));
   }
 
   scoped_context(const scoped_context&) = delete;

@@ -117,6 +117,21 @@ bool registry::contains(std::string_view name) const {
   return solvers_.find(name) != solvers_.end();
 }
 
+const solver_info* registry::info(std::string_view name) const {
+  auto it = solvers_.find(name);
+  return it == solvers_.end() ? nullptr : &it->second.info;
+}
+
+std::string_view problem_name_of(const problem_input& in) {
+  // Index-aligned with the problem_input variant alternatives; matches the
+  // `problem` strings the built-in solvers register under.
+  static constexpr std::string_view kNames[] = {"lis",      "activity", "graph",
+                                                "sssp",     "huffman",  "knapsack",
+                                                "list",     "shuffle",  "whac"};
+  static_assert(std::variant_size_v<problem_input> == sizeof(kNames) / sizeof(kNames[0]));
+  return kNames[in.index()];
+}
+
 std::vector<solver_info> registry::solvers() const {
   std::vector<solver_info> out;
   out.reserve(solvers_.size());
@@ -159,6 +174,11 @@ batch_result<solver_value> registry::run_batch_impl(
     const solver_entry& e, size_t count,
     const std::function<const problem_input&(size_t)>& input_at, const context& ctx,
     const batch_options& opts) {
+  if (!opts.seeds.empty() && opts.seeds.size() != count) {
+    throw std::invalid_argument("pp::registry: batch_options.seeds has " +
+                                std::to_string(opts.seeds.size()) + " entries for " +
+                                std::to_string(count) + " items");
+  }
   batch_result<solver_value> out;
   out.solver = e.info.name;
   out.backend = ctx.backend;
@@ -190,7 +210,9 @@ batch_result<solver_value> registry::run_batch_impl(
   run_scope scope(ctx);
   out.workers = scope.workers();
   for (size_t i : order) {
-    context item_ctx = opts.derive_seeds ? ctx.with_seed(derive_seed(ctx.seed, i)) : ctx;
+    context item_ctx = !opts.seeds.empty() ? ctx.with_seed(opts.seeds[i])
+                       : opts.derive_seeds ? ctx.with_seed(derive_seed(ctx.seed, i))
+                                           : ctx;
     const problem_input& in = input_at(i);
     auto res = run_timed(e.info.name, item_ctx,
                          [&](const context& c) -> solver_value { return e.fn(in, c); });
@@ -260,7 +282,10 @@ std::string to_json(const batch_result<solver_value>& b) {
   w.member("total_seconds", b.total_seconds);
   w.member("min_seconds", b.min_seconds);
   w.member("mean_seconds", b.mean_seconds);
+  w.member("p50_seconds", b.p50_seconds);
   w.member("p95_seconds", b.p95_seconds);
+  w.member("p99_seconds", b.p99_seconds);
+  w.member("max_seconds", b.max_seconds);
   w.member("total_rounds", static_cast<uint64_t>(b.total_rounds));
   w.key("scores").begin_array();
   for (int64_t s : b.scores) w.value(s);

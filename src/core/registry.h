@@ -90,6 +90,11 @@ using problem_input =
     std::variant<sequence_input, activity_input, graph_input, sssp_input, huffman_input,
                  knapsack_input, list_input, shuffle_input, whac_input>;
 
+// Which problem the held alternative belongs to ("lis", "graph", ...) —
+// the same string solver_info::problem uses, so callers can check an
+// input/solver pairing without attempting a dispatch.
+std::string_view problem_name_of(const problem_input& in);
+
 // ---- Type-erased solver payload ---------------------------------------------
 
 using solver_value =
@@ -142,6 +147,11 @@ class registry {
   bool contains(std::string_view name) const;
   std::vector<solver_info> solvers() const;    // sorted by name
   std::vector<problem_info> problems() const;  // sorted by name
+
+  // Non-throwing metadata lookup: the solver's info, or nullptr when the
+  // name is unknown. The serving engine validates requests with this at
+  // admission time so one bad request cannot poison a coalesced batch.
+  const solver_info* info(std::string_view name) const;
 
   // Default random instance of a problem (size n, derived from seed).
   problem_input make_input(std::string_view problem, size_t n, uint64_t seed) const;

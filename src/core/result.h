@@ -54,6 +54,12 @@ struct batch_options {
   // false: every item runs under ctx.seed verbatim (the --repeats shape:
   // the same measurement repeated, not a batch of independent tasks).
   bool derive_seeds = true;
+  // Non-empty: item i executes under ctx.with_seed(seeds[i]) verbatim,
+  // overriding derive_seeds. This is the micro-batching shape (serve/): N
+  // independent requests, each with its own seed, coalesced into one
+  // batch — item i must reproduce registry::run under exactly seeds[i].
+  // Size must equal the batch count (std::invalid_argument otherwise).
+  std::vector<uint64_t> seeds;
 };
 
 inline const char* item_order_name(batch_options::item_order o) {
@@ -66,10 +72,16 @@ struct batch_result {
   std::vector<int64_t> scores;       // canonical per-item score (score_of)
 
   // Aggregates over items[*].seconds / .stats (recompute_aggregates()).
+  // Percentiles are nearest-rank, so each one is an actual observed item
+  // time and the ordering min <= p50 <= p95 <= p99 <= max always holds
+  // (as does min <= mean <= max).
   double total_seconds = 0.0;  // sum of per-item solve times
   double min_seconds = 0.0;
   double mean_seconds = 0.0;
+  double p50_seconds = 0.0;  // nearest-rank median
   double p95_seconds = 0.0;  // nearest-rank 95th percentile
+  double p99_seconds = 0.0;  // nearest-rank 99th percentile
+  double max_seconds = 0.0;
   size_t total_rounds = 0;   // summed phase rounds across items
 
   backend_kind backend = backend_kind::native;  // backend the batch used
@@ -82,7 +94,8 @@ struct batch_result {
   // Refresh the timing/round aggregates from `items`. Called by
   // run_batch; call again after mutating items by hand.
   void recompute_aggregates() {
-    total_seconds = min_seconds = mean_seconds = p95_seconds = 0.0;
+    total_seconds = min_seconds = mean_seconds = 0.0;
+    p50_seconds = p95_seconds = p99_seconds = max_seconds = 0.0;
     total_rounds = 0;
     if (items.empty()) return;
     std::vector<double> secs;
@@ -94,9 +107,15 @@ struct batch_result {
     }
     std::sort(secs.begin(), secs.end());
     min_seconds = secs.front();
+    max_seconds = secs.back();
     mean_seconds = total_seconds / static_cast<double>(secs.size());
-    size_t rank = (secs.size() * 95 + 99) / 100;  // ceil(0.95 n), nearest-rank
-    p95_seconds = secs[rank == 0 ? 0 : rank - 1];
+    auto pct = [&](size_t p) {  // nearest-rank: ceil(p/100 * n), 1-based
+      size_t rank = (secs.size() * p + 99) / 100;
+      return secs[rank == 0 ? 0 : rank - 1];
+    };
+    p50_seconds = pct(50);
+    p95_seconds = pct(95);
+    p99_seconds = pct(99);
   }
 };
 

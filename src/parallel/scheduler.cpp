@@ -200,37 +200,90 @@ work_stealing_pool* pool_cache::acquire(unsigned width) {
   acquires_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(m_);
-    auto& idle = idle_[width];
-    if (!idle.empty()) {
-      work_stealing_pool* p = idle.back();
-      idle.pop_back();
-      return p;
+    // Most-recently-released match first (back of the LRU), so hot widths
+    // stay warm and cold ones age toward eviction.
+    for (size_t i = idle_lru_.size(); i-- > 0;) {
+      if (idle_lru_[i]->num_workers() == width) {
+        work_stealing_pool* p = idle_lru_[i];
+        idle_lru_.erase(idle_lru_.begin() + static_cast<ptrdiff_t>(i));
+        return p;
+      }
     }
   }
   // Cache miss: spawn the new pool's threads outside the lock so a slow
-  // construction never stalls concurrent acquires/releases.
+  // construction never stalls concurrent acquires/releases. (size()/
+  // in_use() don't see the pool until it lands in all_ below — a brief
+  // under-report during construction, never an over-report.) created_ is
+  // only counted once construction succeeded.
   auto fresh = std::make_unique<work_stealing_pool>(width);
   work_stealing_pool* p = fresh.get();
   std::lock_guard<std::mutex> lk(m_);
+  ++created_;
   all_.push_back(std::move(fresh));
   return p;
 }
 
 void pool_cache::release(work_stealing_pool* pool) {
-  std::lock_guard<std::mutex> lk(m_);
-  idle_[pool->num_workers()].push_back(pool);
+  std::vector<std::unique_ptr<work_stealing_pool>> evicted;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    idle_lru_.push_back(pool);
+    evicted = evict_locked(idle_cap_);
+  }
+  // Destruction joins the evicted pools' worker threads; do it outside the
+  // lock so concurrent acquires/releases never wait on thread teardown.
+  evicted.clear();
+}
+
+std::vector<std::unique_ptr<work_stealing_pool>> pool_cache::evict_locked(size_t cap) {
+  std::vector<std::unique_ptr<work_stealing_pool>> out;
+  while (idle_lru_.size() > cap) {
+    work_stealing_pool* victim = idle_lru_.front();  // least recently used
+    idle_lru_.erase(idle_lru_.begin());
+    for (auto it = all_.begin(); it != all_.end(); ++it) {
+      if (it->get() == victim) {
+        out.push_back(std::move(*it));
+        all_.erase(it);
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 size_t pool_cache::pools_created() const {
   std::lock_guard<std::mutex> lk(m_);
-  return all_.size();
+  return created_;
 }
 
 size_t pool_cache::pools_idle() const {
   std::lock_guard<std::mutex> lk(m_);
-  size_t n = 0;
-  for (const auto& [w, v] : idle_) n += v.size();
-  return n;
+  return idle_lru_.size();
+}
+
+size_t pool_cache::size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return all_.size();
+}
+
+size_t pool_cache::in_use() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return all_.size() - idle_lru_.size();
+}
+
+size_t pool_cache::idle_cap() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return idle_cap_;
+}
+
+void pool_cache::set_idle_cap(size_t cap) {
+  std::vector<std::unique_ptr<work_stealing_pool>> evicted;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    idle_cap_ = cap;
+    evicted = evict_locked(idle_cap_);
+  }
+  evicted.clear();
 }
 
 pool_lease::pool_lease(unsigned width) {

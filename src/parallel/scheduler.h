@@ -32,7 +32,6 @@
 #include <memory>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 namespace pp::detail {
@@ -133,9 +132,13 @@ bool on_scheduler_worker_thread();
 // std::thread::hardware_concurrency(). Always >= 1.
 unsigned resolve_native_workers(unsigned requested);
 
-// Registry of idle pools keyed by width. Pools are created on demand, kept
-// for the lifetime of the process, and handed out exclusively: while a
-// lease holds a pool no other acquire() can return it.
+// Registry of idle pools keyed by width, handed out exclusively: while a
+// lease holds a pool no other acquire() can return it. Pools are created
+// on demand; *idle* pools are kept on a small LRU so repeated runs of the
+// same width reuse threads, but a long-lived serving process that has
+// seen many distinct widths does not hold worker threads forever — idle
+// pools beyond `idle_cap()` are destroyed (threads joined), least
+// recently used first. Leased pools are never evicted.
 class pool_cache {
  public:
   static pool_cache& instance();
@@ -145,9 +148,20 @@ class pool_cache {
   work_stealing_pool* acquire(unsigned width);
   void release(work_stealing_pool* pool);
 
-  // Introspection for tests: pools ever created / currently idle.
+  // Introspection for tests: pools ever created (counter, survives
+  // eviction) / currently idle.
   size_t pools_created() const;
   size_t pools_idle() const;
+
+  // Pools currently alive (leased + idle). Bounded by
+  // concurrent leases + idle_cap().
+  size_t size() const;
+  // Pools currently leased out (alive minus idle).
+  size_t in_use() const;
+
+  // The idle-pool LRU bound. Shrinking evicts immediately.
+  size_t idle_cap() const;
+  void set_idle_cap(size_t cap);
 
   // Total leases ever granted (acquire() calls). The honest amortization
   // metric for batching: a K-item registry::run_batch grants one lease
@@ -157,9 +171,15 @@ class pool_cache {
  private:
   pool_cache() = default;
 
+  // Pop evictees beyond `cap` off the LRU under m_; caller destroys them
+  // (joins their threads) outside the lock.
+  std::vector<std::unique_ptr<work_stealing_pool>> evict_locked(size_t cap);
+
   mutable std::mutex m_;
-  std::vector<std::unique_ptr<work_stealing_pool>> all_;
-  std::unordered_map<unsigned, std::vector<work_stealing_pool*>> idle_;
+  std::vector<std::unique_ptr<work_stealing_pool>> all_;  // alive: leased + idle
+  std::vector<work_stealing_pool*> idle_lru_;             // back = most recent
+  size_t idle_cap_ = 8;
+  size_t created_ = 0;
   std::atomic<uint64_t> acquires_{0};
 };
 

@@ -1,0 +1,274 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <utility>
+
+namespace pp::serve {
+
+namespace detail {
+// Invoke a user response callback with exception isolation: a throwing
+// callback must neither escape an executor std::thread (std::terminate)
+// nor propagate out of submit() on the admission-rejection path, and must
+// not trip the batch error path into re-delivering batchmates' promises.
+inline void guarded_invoke(const std::function<void(response)>& cb, response&& r) {
+  try {
+    cb(std::move(r));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pp::serve: response callback threw: %s\n", e.what());
+  } catch (...) {
+    std::fprintf(stderr, "pp::serve: response callback threw\n");
+  }
+}
+}  // namespace detail
+
+namespace {
+
+// Resolve the 0 = "partition the machine evenly" default.
+unsigned resolve_workers_per_run(unsigned requested, unsigned max_inflight) {
+  if (requested >= 1) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  unsigned share = hw / (max_inflight == 0 ? 1 : max_inflight);
+  return share == 0 ? 1 : share;
+}
+
+std::future<response> ready_error(std::string err, std::atomic<uint64_t>& failed,
+                                  const std::function<void(response)>& cb) {
+  response r;
+  r.error = std::move(err);
+  failed.fetch_add(1, std::memory_order_relaxed);
+  if (cb) {
+    detail::guarded_invoke(cb, std::move(r));
+    return {};
+  }
+  std::promise<response> prom;
+  auto fut = prom.get_future();
+  prom.set_value(std::move(r));
+  return fut;
+}
+
+}  // namespace
+
+engine::engine(engine_options opt) : opts_(std::move(opt)) {
+  if (opts_.max_inflight_runs == 0) opts_.max_inflight_runs = 1;
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+  exec_ctx_ = opts_.ctx.with_workers(
+      resolve_workers_per_run(opts_.workers_per_run, opts_.max_inflight_runs));
+  executors_.reserve(opts_.max_inflight_runs);
+  for (unsigned i = 0; i < opts_.max_inflight_runs; ++i)
+    executors_.emplace_back([this] { executor_loop(); });
+}
+
+engine::~engine() { stop(/*drain=*/true); }
+
+std::future<response> engine::submit(request req) {
+  return enqueue(std::move(req), nullptr);
+}
+
+void engine::submit(request req, std::function<void(response)> cb) {
+  enqueue(std::move(req), std::move(cb));
+}
+
+std::future<response> engine::enqueue(request&& req, std::function<void(response)> cb) {
+  // Validate at admission, not execution: a coalesced batch is one
+  // registry::run_batch call, and one malformed request must not fail its
+  // batchmates.
+  const solver_info* si = registry::instance().info(req.solver);
+  if (si == nullptr)
+    return ready_error("unknown solver '" + req.solver + "'", failed_, cb);
+  if (si->problem != problem_name_of(req.input)) {
+    return ready_error("solver '" + req.solver + "' expects a '" + si->problem +
+                           "' input, got '" + std::string(problem_name_of(req.input)) + "'",
+                       failed_, cb);
+  }
+
+  pending p;
+  p.solver = std::move(req.solver);
+  p.input = std::move(req.input);
+  p.cb = std::move(cb);
+  std::future<response> fut;
+  if (!p.cb) fut = p.prom.get_future();
+
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    not_full_.wait(lk, [&] { return stopping_ || queue_.size() < opts_.queue_capacity; });
+    if (stopping_) {
+      lk.unlock();
+      response r;
+      r.error = "engine stopped";
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      deliver(p, std::move(r));
+      return fut;
+    }
+    p.seed = req.seed ? *req.seed : derive_seed(opts_.ctx.seed, seq_);
+    ++seq_;
+    queue_.push_back(std::move(p));
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // notify_all, not notify_one: a single notify can be swallowed by an
+  // executor coalescing a *different* solver inside its batch window (it
+  // gathers nothing and re-waits), leaving an idle executor asleep and
+  // this request stuck until that window expires.
+  not_empty_.notify_all();
+  return fut;
+}
+
+void engine::executor_loop() {
+  for (;;) {
+    std::vector<pending> batch;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      not_empty_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // By value: growing `batch` reallocates and would invalidate a
+      // reference into batch.front().
+      const std::string solver = batch.front().solver;
+
+      // Sweep everything for this solver already waiting, then keep the
+      // window open for late arrivals until the batch fills, the window
+      // closes, or the engine is stopping (stop cuts windows short so
+      // drain is prompt). Each sweep rescans the queue under m_ — O(queue)
+      // per window wakeup, which the operator bounds via queue_capacity;
+      // a resumable scan cursor would be invalidated by the other
+      // executors' own erases and is not worth the bookkeeping here.
+      auto gather = [&] {
+        bool removed = false;
+        for (auto it = queue_.begin(); it != queue_.end() && batch.size() < opts_.max_batch;) {
+          if (it->solver == solver) {
+            batch.push_back(std::move(*it));
+            it = queue_.erase(it);
+            removed = true;
+          } else {
+            ++it;
+          }
+        }
+        // Wake backpressured submitters NOW, not after the window closes:
+        // with a small queue, a window-waiting executor that just drained
+        // it is waiting for exactly the requests those submitters hold.
+        if (removed) not_full_.notify_all();
+      };
+      gather();
+      if (opts_.batch_window.count() > 0) {
+        auto deadline = std::chrono::steady_clock::now() + opts_.batch_window;
+        while (batch.size() < opts_.max_batch && !stopping_) {
+          if (not_empty_.wait_until(lk, deadline) == std::cv_status::timeout) {
+            gather();
+            break;
+          }
+          gather();
+        }
+      }
+    }
+    not_full_.notify_all();
+    // A same-solver request arriving while we execute is picked up by
+    // another executor (or by us on the next loop) — the queue is never
+    // blocked on a running batch.
+    execute(std::move(batch));
+  }
+}
+
+void engine::execute(std::vector<pending> batch) {
+  unsigned now = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  unsigned peak = peak_inflight_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_inflight_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+
+  std::vector<problem_input> inputs;
+  inputs.reserve(batch.size());
+  batch_options opts;
+  opts.seeds.reserve(batch.size());
+  for (auto& p : batch) {
+    inputs.push_back(std::move(p.input));
+    opts.seeds.push_back(p.seed);
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  size_t delivered = 0;  // entries already resolved; never re-delivered on error
+  try {
+    auto br = registry::run_batch(batch.front().solver,
+                                  std::span<const problem_input>(inputs), exec_ctx_, opts);
+    exec_nanos_.fetch_add(
+        static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count()),
+        std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    if (batch.size() > 1) batched_.fetch_add(batch.size(), std::memory_order_relaxed);
+    completed_.fetch_add(batch.size(), std::memory_order_relaxed);
+    for (; delivered < batch.size(); ++delivered) {
+      response r;
+      r.result = std::move(br.items[delivered]);
+      deliver(batch[delivered], std::move(r));
+    }
+  } catch (const std::exception& e) {
+    // Admission-time validation makes this unreachable for well-formed
+    // requests; a solver throwing mid-batch fails the whole flush — but
+    // only the entries not already resolved above.
+    fail_from(batch, delivered, e.what());
+  } catch (...) {
+    // A non-std exception escaping the executor std::thread would
+    // std::terminate the whole process; fail the flush instead.
+    fail_from(batch, delivered, "solver threw a non-std exception");
+  }
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void engine::fail_from(std::vector<pending>& batch, size_t first, const char* what) {
+  failed_.fetch_add(batch.size() - first, std::memory_order_relaxed);
+  for (size_t i = first; i < batch.size(); ++i) {
+    response r;
+    r.error = what;
+    deliver(batch[i], std::move(r));
+  }
+}
+
+void engine::deliver(pending& p, response&& r) {
+  if (p.cb) {
+    detail::guarded_invoke(p.cb, std::move(r));
+  } else {
+    p.prom.set_value(std::move(r));
+  }
+}
+
+void engine::stop(bool drain) {
+  std::deque<pending> orphans;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stopping_ = true;
+    if (!drain) orphans.swap(queue_);
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& p : orphans) {
+    response r;
+    r.error = "engine stopped";
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    deliver(p, std::move(r));
+  }
+  std::call_once(join_once_, [&] {
+    for (auto& t : executors_) t.join();
+  });
+}
+
+engine_stats engine::stats() const {
+  engine_stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched = batched_.load(std::memory_order_relaxed);
+  s.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
+  s.exec_seconds = static_cast<double>(exec_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  std::lock_guard<std::mutex> lk(m_);
+  s.queue_depth = queue_.size();
+  return s;
+}
+
+}  // namespace pp::serve

@@ -1,0 +1,188 @@
+// pp::serve — asynchronous serving engine over the solver registry.
+//
+// The registry gave every phase-parallel algorithm one synchronous dispatch
+// surface (run / run_batch); this subsystem multiplexes many concurrent
+// *clients* onto it, which is the ROADMAP serving shape: requests arrive
+// faster than one blocking caller could issue them, and throughput is
+// governed by how they are admitted to workers, not just by per-run
+// parallelism.
+//
+//   pp::serve::engine eng({.max_inflight_runs = 2, .workers_per_run = 4});
+//   auto fut = eng.submit({.solver = "lis/parallel", .input = in, .seed = 7});
+//   pp::serve::response r = fut.get();   // r.result is a run_result envelope
+//
+// Two mechanisms:
+//
+//  * Admission control. Clients enqueue into a bounded MPMC queue (submit
+//    blocks when it is full — backpressure, not unbounded buffering). A
+//    fixed set of `max_inflight_runs` executor threads drains it, so at
+//    most that many run_scopes — and therefore at most that many exclusive
+//    pool_cache leases of `workers_per_run` workers each — are ever live.
+//    Concurrent runs *partition* the machine (R pools of W workers)
+//    instead of oversubscribing it.
+//
+//  * Dynamic micro-batching. An executor that pops a request waits up to
+//    `batch_window` for more requests naming the same solver (up to
+//    `max_batch`), then executes them as ONE registry::run_batch — one
+//    pool lease, one scheduler binding — and demultiplexes the per-item
+//    envelopes back to the individual futures. Each request executes under
+//    its own seed (batch_options::seeds), so a coalesced submit returns
+//    bit-for-bit what a standalone registry::run under that seed returns.
+//
+// Every batch executes under the engine's single execution profile
+// (options::ctx + workers_per_run): concurrent top-level scopes then agree
+// on every knob except the per-item seeds, which solvers consume through
+// their explicit context argument — never through the process-wide current
+// context — so concurrent executors cannot cross-contaminate each other
+// (and the context scope-race detector stays quiet). Requests therefore
+// carry solver + input + seed only; backend/width policy belongs to the
+// server operator, as in any serving system.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/context.h"
+#include "core/registry.h"
+#include "core/result.h"
+
+namespace pp::serve {
+
+// One unit of client work: a registered solver plus the input it consumes.
+// `seed` empty = the engine derives one from its base seed and the
+// request's admission index via pp::derive_seed — the same per-item rule
+// run_batch uses, so a stream of anonymous requests is reproducible from
+// the engine's base seed alone.
+struct request {
+  std::string solver;
+  problem_input input;
+  std::optional<uint64_t> seed;
+};
+
+struct response {
+  run_result<solver_value> result{};  // filled when ok()
+  std::string error;                  // empty = success
+  bool ok() const { return error.empty(); }
+};
+
+struct engine_options {
+  // Executor threads == maximum concurrent run_scopes (pool leases).
+  unsigned max_inflight_runs = 2;
+  // Workers per run_scope; 0 = partition the machine evenly:
+  // max(1, hardware / max_inflight_runs).
+  unsigned workers_per_run = 0;
+  // Bounded admission queue; submit blocks (backpressure) when full.
+  size_t queue_capacity = 1024;
+  // How long an executor holding a fresh request waits for more requests
+  // of the same solver before flushing. 0 = flush immediately (batching
+  // effectively off when combined with max_batch = 1).
+  std::chrono::microseconds batch_window{200};
+  // Largest coalesced batch; 1 disables coalescing.
+  size_t max_batch = 16;
+  // Execution profile every batch runs under: backend, grain, pivot, and
+  // the base seed anonymous requests derive from. ctx.workers is ignored
+  // in favor of workers_per_run.
+  context ctx = default_context();
+};
+
+struct engine_stats {
+  uint64_t submitted = 0;     // requests admitted to the queue
+  uint64_t completed = 0;     // responses delivered with ok()
+  uint64_t failed = 0;        // responses delivered with an error
+  uint64_t batches = 0;       // run_batch flushes (== pool leases taken)
+  uint64_t batched = 0;       // requests that shared a flush with >= 1 other
+  unsigned peak_inflight = 0; // high-water mark of concurrent run_scopes
+  size_t queue_depth = 0;     // requests waiting right now
+  // Summed wall-clock of the run_batch flushes themselves (batch window
+  // waits excluded). exec_seconds minus the per-item solve seconds is the
+  // engine's total dispatch overhead — lease cycles, scope setup, demux —
+  // and stays meaningful under concurrent executors, where comparing
+  // against end-to-end wall clock would not (concurrency makes summed
+  // solve time exceed wall time).
+  double exec_seconds = 0.0;
+};
+
+class engine {
+ public:
+  explicit engine(engine_options opt = {});
+  ~engine();  // stop(/*drain=*/true)
+
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+
+  // Enqueue and return the eventual response. Invalid requests (unknown
+  // solver, wrong problem_input alternative) and submits after stop()
+  // resolve immediately with an error — they never enter the queue.
+  // Blocks while the queue is full.
+  std::future<response> submit(request req);
+
+  // Callback form: `cb` runs on the executor thread that finished the
+  // request's batch (keep it cheap; it delays the executor's next pop).
+  void submit(request req, std::function<void(response)> cb);
+
+  // Stop accepting work. drain=true executes everything still queued
+  // (windows are cut short); drain=false fails queued-but-unstarted
+  // requests with "engine stopped". Either way every future issued by
+  // submit() is resolved when stop() returns. Idempotent.
+  void stop(bool drain = true);
+
+  engine_stats stats() const;
+  const engine_options& options() const { return opts_; }
+  // The resolved per-run width (options.workers_per_run, or the even
+  // machine partition when that was 0).
+  unsigned workers_per_run() const { return exec_ctx_.workers; }
+  // The profile batches execute under (seed = the engine base seed; item
+  // seeds override it per request).
+  const context& execution_context() const { return exec_ctx_; }
+
+ private:
+  struct pending {
+    std::string solver;
+    problem_input input;
+    uint64_t seed = 0;
+    std::promise<response> prom;
+    std::function<void(response)> cb;  // when set, used instead of prom
+  };
+
+  std::future<response> enqueue(request&& req, std::function<void(response)> cb);
+  void executor_loop();
+  void execute(std::vector<pending> batch);
+  // Fail batch entries [first, end) with `what` (the not-yet-delivered
+  // tail when a flush throws).
+  void fail_from(std::vector<pending>& batch, size_t first, const char* what);
+  static void deliver(pending& p, response&& r);
+
+  engine_options opts_;
+  context exec_ctx_;  // opts_.ctx with workers = resolved workers_per_run
+
+  mutable std::mutex m_;
+  std::condition_variable not_empty_;  // executors wait here
+  std::condition_variable not_full_;   // blocked submitters wait here
+  std::deque<pending> queue_;
+  bool stopping_ = false;
+  uint64_t seq_ = 0;  // admission index, feeds derive_seed for anonymous requests
+
+  std::vector<std::thread> executors_;
+  std::once_flag join_once_;
+
+  std::atomic<unsigned> inflight_{0};
+  std::atomic<unsigned> peak_inflight_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_{0};
+  std::atomic<uint64_t> exec_nanos_{0};
+};
+
+}  // namespace pp::serve

@@ -1,0 +1,213 @@
+// Tests for the dependency-free JSON writer + reader (core/json.h):
+// string-escaping edge cases (quotes, backslashes, control characters,
+// UTF-8 passthrough), non-finite doubles, reader edge cases (\uXXXX
+// escapes incl. surrogate pairs, int64 exactness, malformed documents),
+// and writer -> reader round trips, including a full run_result envelope.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/json.h"
+#include "core/registry.h"
+
+namespace {
+
+using pp::json::parse;
+using pp::json::value;
+using pp::json::writer;
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlChars) {
+  writer w;
+  w.begin_object();
+  w.member("k", "a\"b\\c\x01 \n\t\r\b\f");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"k\": \"a\\\"b\\\\c\\u0001 \\n\\t\\r\\b\\f\"}");
+}
+
+TEST(JsonWriter, Utf8PassesThroughUnescaped) {
+  writer w;
+  w.value(std::string_view("héllo – 世界"));
+  EXPECT_EQ(w.str(), "\"héllo – 世界\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  writer w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null, null, null, 1.5]");
+}
+
+TEST(JsonWriter, RawValueSplices) {
+  writer inner;
+  inner.begin_object();
+  inner.member("x", int64_t{1});
+  inner.end_object();
+  writer outer;
+  outer.begin_object();
+  outer.key("nested").value_raw(inner.str());
+  outer.member("y", int64_t{2});
+  outer.end_object();
+  EXPECT_EQ(outer.str(), "{\"nested\": {\"x\": 1}, \"y\": 2}");
+}
+
+TEST(JsonReader, ParsesScalars) {
+  value v;
+  ASSERT_TRUE(parse("null", v));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(parse("true", v));
+  EXPECT_TRUE(v.as_bool());
+  ASSERT_TRUE(parse("false", v));
+  EXPECT_FALSE(v.as_bool());
+  ASSERT_TRUE(parse("-42", v));
+  EXPECT_TRUE(v.is_number());
+  EXPECT_EQ(v.as_int64(), -42);
+  ASSERT_TRUE(parse("2.5e3", v));
+  EXPECT_DOUBLE_EQ(v.as_double(), 2500.0);
+  ASSERT_TRUE(parse("\"hi\"", v));
+  EXPECT_EQ(v.as_string(), "hi");
+}
+
+TEST(JsonReader, Int64Exactness) {
+  // Seeds are 64-bit; integral tokens must not round-trip through double.
+  value v;
+  ASSERT_TRUE(parse("9007199254740993", v));  // 2^53 + 1, not double-representable
+  EXPECT_EQ(v.as_int64(), 9007199254740993ll);
+  ASSERT_TRUE(parse("-9223372036854775807", v));
+  EXPECT_EQ(v.as_int64(), -9223372036854775807ll);
+  // The top half of the seed space, [2^63, 2^64), stays exact too — a
+  // derive_seed output is uniform over all 64 bits.
+  ASSERT_TRUE(parse("18446744073709551615", v));
+  EXPECT_EQ(v.as_uint64(), 18446744073709551615ull);
+  ASSERT_TRUE(parse("9223372036854775809", v));  // 2^63 + 1
+  EXPECT_EQ(v.as_uint64(), 9223372036854775809ull);
+  EXPECT_EQ(v.as_int64(), std::numeric_limits<int64_t>::max());  // clamped, not UB
+  // Beyond uint64 the token degrades to double (clamped on conversion).
+  ASSERT_TRUE(parse("99999999999999999999", v));
+  EXPECT_TRUE(v.is_number());
+}
+
+TEST(JsonReader, ObjectsAndArrays) {
+  value v;
+  ASSERT_TRUE(parse(R"({"a": [1, 2, {"b": "c"}], "d": {}, "e": []})", v));
+  ASSERT_TRUE(v.is_object());
+  const value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[1].as_int64(), 2);
+  EXPECT_EQ(a->as_array()[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(v.find("d")->is_object());
+  EXPECT_TRUE(v.find("e")->is_array());
+  EXPECT_EQ(v.find("nope"), nullptr);
+}
+
+TEST(JsonReader, DecodesEscapes) {
+  value v;
+  ASSERT_TRUE(parse(R"("a\"b\\c\/d\n\tA")", v));
+  EXPECT_EQ(v.as_string(), "a\"b\\c/d\n\tA");
+  // \u escapes decoding to 2-byte (é), 3-byte (世), and — through a
+  // surrogate pair — 4-byte (😀 U+1F600) UTF-8.
+  ASSERT_TRUE(parse(R"("\u00e9 \u4e16 \ud83d\ude00")", v));
+  EXPECT_EQ(v.as_string(), "\xc3\xa9 \xe4\xb8\x96 \xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, Utf8PassthroughSurvives) {
+  value v;
+  std::string doc = "\"héllo 世界\"";
+  ASSERT_TRUE(parse(doc, v));
+  EXPECT_EQ(v.as_string(), "héllo 世界");
+}
+
+TEST(JsonReader, EnforcesNumberGrammar) {
+  // RFC 8259 forbids leading zeros, bare dots, and empty exponents even
+  // though strtod would happily consume them.
+  value v;
+  EXPECT_FALSE(parse("01", v));
+  EXPECT_FALSE(parse("-01", v));
+  EXPECT_FALSE(parse("1.", v));
+  EXPECT_FALSE(parse(".5", v));
+  EXPECT_FALSE(parse("-.5", v));
+  EXPECT_FALSE(parse("1e", v));
+  EXPECT_FALSE(parse("1e+", v));
+  EXPECT_TRUE(parse("0", v));
+  EXPECT_TRUE(parse("-0", v));
+  EXPECT_TRUE(parse("0.5", v));
+  EXPECT_TRUE(parse("10", v));
+  EXPECT_TRUE(parse("1e-3", v));
+}
+
+TEST(JsonReader, Int64ConversionClampsOutOfRangeDoubles) {
+  // as_int64 on a huge double must clamp, not hit UB — a daemon request
+  // can legally carry {"n": 1e300}.
+  value v;
+  ASSERT_TRUE(parse("1e300", v));
+  EXPECT_EQ(v.as_int64(), 9223372036854774784ll);  // largest double < 2^63
+  ASSERT_TRUE(parse("-1e300", v));
+  EXPECT_EQ(v.as_int64(), std::numeric_limits<int64_t>::min());
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  value v;
+  std::string err;
+  EXPECT_FALSE(parse("", v, &err));
+  EXPECT_FALSE(parse("{", v, &err));
+  EXPECT_FALSE(parse("[1,", v, &err));
+  EXPECT_FALSE(parse("{\"a\" 1}", v, &err));
+  EXPECT_FALSE(parse("\"unterminated", v, &err));
+  EXPECT_FALSE(parse("nul", v, &err));
+  EXPECT_FALSE(parse("1 2", v, &err)) << "trailing tokens must be rejected";
+  EXPECT_FALSE(parse("\"bad \\q escape\"", v, &err));
+  EXPECT_FALSE(parse("\"lone \\ud800 surrogate\"", v, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse("\"raw \x01 control\"", v, &err));
+}
+
+TEST(JsonRoundTrip, WriterOutputParses) {
+  writer w;
+  w.begin_object();
+  w.member("s", "quote\" slash\\ tab\t é");
+  w.member("i", int64_t{-7});
+  w.member("u", uint64_t{18446744073709551615ull});  // 2^64-1: emitted unsigned
+  w.member("d", 0.125);
+  w.member("b", true);
+  w.key("arr").begin_array().value(int64_t{1}).value("two").end_array();
+  w.key("nan").value(std::nan(""));
+  w.end_object();
+
+  value v;
+  std::string err;
+  ASSERT_TRUE(parse(w.str(), v, &err)) << err << " in " << w.str();
+  EXPECT_EQ(v.find("s")->as_string(), "quote\" slash\\ tab\t é");
+  EXPECT_EQ(v.find("i")->as_int64(), -7);
+  // 2^64-1 overflows int64 but stays exact through the uint64 alternative.
+  EXPECT_TRUE(v.find("u")->is_number());
+  EXPECT_EQ(v.find("u")->as_uint64(), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(v.find("d")->as_double(), 0.125);
+  EXPECT_TRUE(v.find("b")->as_bool());
+  EXPECT_EQ(v.find("arr")->as_array().size(), 2u);
+  EXPECT_TRUE(v.find("nan")->is_null());
+}
+
+TEST(JsonRoundTrip, RunResultEnvelopeParses) {
+  // The ppserve daemon splices pp::to_json output into response lines via
+  // value_raw; the reader must accept the whole envelope.
+  auto in = pp::registry::instance().make_input("lis", 500, 3);
+  auto res = pp::registry::run("lis/parallel", in,
+                               pp::context{}.with_backend(pp::backend_kind::native).with_seed(3));
+  value v;
+  std::string err;
+  ASSERT_TRUE(parse(pp::to_json(res), v, &err)) << err;
+  EXPECT_EQ(v.find("solver")->as_string(), "lis/parallel");
+  EXPECT_EQ(v.find("seed")->as_int64(), 3);
+  EXPECT_GT(v.find("score")->as_int64(), 0);
+  ASSERT_NE(v.find("stats"), nullptr);
+  EXPECT_GT(v.find("stats")->find("rounds")->as_int64(), 0);
+}
+
+}  // namespace

@@ -211,6 +211,71 @@ TEST(RegistryBatch, EnvelopeAndAggregates) {
   EXPECT_NEAR(batch.mean_seconds, total / 3.0, 1e-12);
 }
 
+TEST(RegistryBatch, PercentileAggregatesOrdered) {
+  // ISSUE 4 satellite: p50/p99 ride alongside min/mean/p95/max, and the
+  // nearest-rank definition guarantees the ordering invariants
+  // min <= p50 <= p95 <= p99 <= max and min <= mean <= max.
+  auto& reg = registry::instance();
+  std::vector<pp::problem_input> inputs;
+  for (uint64_t s = 0; s < 12; ++s) inputs.push_back(reg.make_input("lis", 800 + 150 * s, s));
+  auto batch = registry::run_batch("lis/parallel", inputs,
+                                   pp::context{}.with_backend(pp::backend_kind::native));
+  ASSERT_EQ(batch.count(), 12u);
+  EXPECT_GT(batch.min_seconds, 0.0);
+  EXPECT_LE(batch.min_seconds, batch.p50_seconds);
+  EXPECT_LE(batch.p50_seconds, batch.p95_seconds);
+  EXPECT_LE(batch.p95_seconds, batch.p99_seconds);
+  EXPECT_LE(batch.p99_seconds, batch.max_seconds);
+  EXPECT_LE(batch.min_seconds, batch.mean_seconds);
+  EXPECT_LE(batch.mean_seconds, batch.max_seconds);
+  EXPECT_LE(batch.max_seconds, batch.total_seconds);
+
+  // Every percentile is an actual observed item time (nearest-rank).
+  auto observed = [&](double x) {
+    for (const auto& it : batch.items)
+      if (it.seconds == x) return true;
+    return false;
+  };
+  EXPECT_TRUE(observed(batch.p50_seconds));
+  EXPECT_TRUE(observed(batch.p95_seconds));
+  EXPECT_TRUE(observed(batch.p99_seconds));
+  EXPECT_TRUE(observed(batch.max_seconds));
+
+  // recompute_aggregates is idempotent over unchanged items.
+  double p50 = batch.p50_seconds, p99 = batch.p99_seconds;
+  batch.recompute_aggregates();
+  EXPECT_DOUBLE_EQ(batch.p50_seconds, p50);
+  EXPECT_DOUBLE_EQ(batch.p99_seconds, p99);
+
+  // A single-item batch collapses every aggregate onto that item.
+  auto one = registry::run_batch("lis/parallel", inputs[0], 1);
+  EXPECT_DOUBLE_EQ(one.p50_seconds, one.items[0].seconds);
+  EXPECT_DOUBLE_EQ(one.p99_seconds, one.items[0].seconds);
+  EXPECT_DOUBLE_EQ(one.max_seconds, one.items[0].seconds);
+}
+
+TEST(RegistryBatch, ExplicitSeedsOverrideDerivation) {
+  // batch_options::seeds (the micro-batching shape): item i executes
+  // under exactly seeds[i], reproducible with standalone runs.
+  auto& reg = registry::instance();
+  std::vector<pp::problem_input> inputs;
+  for (uint64_t s : {41u, 42u, 43u}) inputs.push_back(reg.make_input("lis", 900, s));
+  pp::context ctx = pp::context{}.with_backend(pp::backend_kind::native).with_seed(1);
+
+  pp::batch_options opts;
+  opts.seeds = {901, 902, 903};
+  auto batch = registry::run_batch("lis/parallel", inputs, ctx, opts);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(batch.items[i].seed, opts.seeds[i]) << i;
+    auto solo = registry::run("lis/parallel", inputs[i], ctx.with_seed(opts.seeds[i]));
+    EXPECT_EQ(batch.scores[i], pp::score_of(solo.value)) << i;
+  }
+
+  // Size mismatch is rejected before any work happens.
+  opts.seeds = {1, 2};
+  EXPECT_THROW(registry::run_batch("lis/parallel", inputs, ctx, opts), std::invalid_argument);
+}
+
 TEST(RegistryBatch, MatchesLoopOfRuns) {
   // The amortized path must be invisible to results: batch item i ==
   // registry::run under the derived seed, score for score.
@@ -296,7 +361,10 @@ TEST(RegistryJson, BatchEnvelopeSerializes) {
   EXPECT_NE(j.find("\"items\": ["), std::string::npos) << j;
   EXPECT_NE(j.find("\"scores\": ["), std::string::npos) << j;
   EXPECT_NE(j.find("\"total_seconds\": "), std::string::npos) << j;
+  EXPECT_NE(j.find("\"p50_seconds\": "), std::string::npos) << j;
   EXPECT_NE(j.find("\"p95_seconds\": "), std::string::npos) << j;
+  EXPECT_NE(j.find("\"p99_seconds\": "), std::string::npos) << j;
+  EXPECT_NE(j.find("\"max_seconds\": "), std::string::npos) << j;
   // one per-item envelope per input
   size_t count = 0;
   for (size_t pos = 0; (pos = j.find("\"solver\": \"lis/parallel\"", pos)) != std::string::npos;

@@ -267,6 +267,56 @@ TEST(Scheduler, BatchNestsInsideEnclosingRun) {
   EXPECT_EQ(batch.count(), 3u);
 }
 
+TEST(Scheduler, PoolCacheEvictsIdleBeyondCap) {
+  // ISSUE 4 satellite: a long-lived serving process that has seen many
+  // distinct widths must not hold worker threads forever. Idle pools
+  // beyond the LRU cap are destroyed (threads joined), least recently
+  // used first; size() reports what is actually alive.
+  auto& cache = pp::detail::pool_cache::instance();
+  size_t old_cap = cache.idle_cap();
+  cache.set_idle_cap(2);
+
+  // Touch three distinct (unusual) widths sequentially; each release
+  // pushes onto the LRU, so width 5 — the oldest — is evicted.
+  for (unsigned w : {5u, 6u, 7u}) {
+    pp::scoped_scheduler s(pp::context{}.with_backend(pp::backend_kind::native).with_workers(w));
+  }
+  EXPECT_LE(cache.pools_idle(), 2u);
+  EXPECT_EQ(cache.size(), cache.pools_idle());  // nothing leased right now
+  EXPECT_EQ(cache.in_use(), 0u);
+
+  // The survivors (6, 7) are reused; the evicted width (5) is rebuilt.
+  size_t created = cache.pools_created();
+  { pp::scoped_scheduler s(pp::context{}.with_backend(pp::backend_kind::native).with_workers(7)); }
+  { pp::scoped_scheduler s(pp::context{}.with_backend(pp::backend_kind::native).with_workers(6)); }
+  EXPECT_EQ(cache.pools_created(), created);
+  { pp::scoped_scheduler s(pp::context{}.with_backend(pp::backend_kind::native).with_workers(5)); }
+  EXPECT_EQ(cache.pools_created(), created + 1);
+
+  // Shrinking the cap evicts immediately.
+  cache.set_idle_cap(0);
+  EXPECT_EQ(cache.pools_idle(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.set_idle_cap(old_cap);
+}
+
+TEST(Scheduler, PoolCacheSizeCountsLeasedPools) {
+  auto& cache = pp::detail::pool_cache::instance();
+  size_t old_cap = cache.idle_cap();
+  size_t idle_before = cache.pools_idle();
+  {
+    pp::scoped_scheduler s(pp::context{}.with_backend(pp::backend_kind::native).with_workers(2));
+    EXPECT_EQ(cache.in_use(), 1u);
+    EXPECT_EQ(cache.size(), cache.pools_idle() + 1);
+    // A leased pool is never on the idle LRU, so it can never be evicted.
+    cache.set_idle_cap(0);
+    EXPECT_EQ(cache.in_use(), 1u);
+    cache.set_idle_cap(old_cap);
+  }
+  EXPECT_EQ(cache.in_use(), 0u);
+  EXPECT_GE(cache.pools_idle(), idle_before > 0 ? 1u : 0u);
+}
+
 TEST(Scheduler, UnbalancedForkJoin) {
   // Left side finishes immediately; right side is heavy. The parent must
   // wait for the stolen child correctly.

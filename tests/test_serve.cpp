@@ -1,0 +1,327 @@
+// Tests for the async serving engine (src/serve/): micro-batched submits
+// reproduce standalone registry::run results seed-for-seed, coalesced
+// requests cost one pool lease per flushed batch, concurrent run_scopes
+// respect max_inflight_runs, and shutdown resolves every future (drain
+// and fail modes) without hangs or leaks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.h"
+#include "parallel/scheduler.h"
+#include "serve/engine.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using pp::registry;
+using pp::serve::engine;
+using pp::serve::engine_options;
+using pp::serve::request;
+using pp::serve::response;
+
+pp::context native2() {
+  return pp::context{}.with_backend(pp::backend_kind::native).with_workers(2);
+}
+
+TEST(Serve, EverySolverMatchesStandaloneRun) {
+  // Acceptance (a): a submit through the engine returns the same score as
+  // a standalone registry::run with the same seed — for every solver.
+  engine_options opt;
+  opt.max_inflight_runs = 2;
+  opt.workers_per_run = 2;
+  opt.batch_window = 2ms;
+  opt.max_batch = 4;
+  opt.ctx = native2().with_seed(17);
+  engine eng(opt);
+
+  auto& reg = registry::instance();
+  std::map<std::string, pp::problem_input> inputs;
+  std::vector<std::pair<std::string, std::future<response>>> futs;
+  for (const auto& s : reg.solvers()) {
+    if (!inputs.count(s.problem)) inputs.emplace(s.problem, reg.make_input(s.problem, 500, 23));
+    request req;
+    req.solver = s.name;
+    req.input = inputs.at(s.problem);
+    req.seed = 23 + inputs.size();
+    futs.emplace_back(s.name, eng.submit(std::move(req)));
+  }
+  // Resolve everything before running the standalone comparisons so no
+  // engine run_scope overlaps the main thread's (their profiles differ).
+  std::vector<std::pair<std::string, response>> got;
+  for (auto& [name, fut] : futs) got.emplace_back(name, fut.get());
+  eng.stop();
+
+  for (auto& [name, r] : got) {
+    ASSERT_TRUE(r.ok()) << name << ": " << r.error;
+    const std::string& problem = reg.info(name)->problem;
+    auto solo = registry::run(name, inputs.at(problem),
+                              eng.execution_context().with_seed(r.result.seed));
+    EXPECT_EQ(pp::score_of(r.result.value), pp::score_of(solo.value)) << name;
+    EXPECT_EQ(r.result.solver, name);
+    EXPECT_EQ(r.result.workers, eng.workers_per_run()) << name;
+  }
+}
+
+TEST(Serve, CoalescedBatchCostsOneLease) {
+  // Acceptance (b), first half: K same-solver requests inside one window
+  // flush as ONE run_batch — one pool lease — and still demux to per-seed
+  // exact results.
+  constexpr size_t kReqs = 6;
+  engine_options opt;
+  opt.max_inflight_runs = 1;  // one executor: deterministic single flush
+  opt.workers_per_run = 2;
+  opt.batch_window = 100ms;
+  opt.max_batch = kReqs;
+  opt.ctx = native2().with_seed(5);
+  engine eng(opt);
+
+  auto& cache = pp::detail::pool_cache::instance();
+  auto in = registry::instance().make_input("lis", 800, 7);
+  uint64_t leases_before = cache.acquires();
+
+  std::vector<std::future<response>> futs;
+  for (size_t i = 0; i < kReqs; ++i) {
+    request req;
+    req.solver = "lis/parallel";
+    req.input = in;
+    req.seed = 100 + i;
+    futs.push_back(eng.submit(std::move(req)));
+  }
+  std::vector<response> rs;
+  for (auto& f : futs) rs.push_back(f.get());
+  uint64_t leases = cache.acquires() - leases_before;
+  auto st = eng.stats();
+  eng.stop();
+
+  EXPECT_EQ(st.batches, 1u) << "expected one coalesced flush";
+  EXPECT_EQ(leases, st.batches) << "one pool lease per flushed batch";
+  EXPECT_EQ(st.batched, kReqs);
+  for (size_t i = 0; i < kReqs; ++i) {
+    ASSERT_TRUE(rs[i].ok()) << rs[i].error;
+    EXPECT_EQ(rs[i].result.seed, 100 + i) << i;
+    auto solo = registry::run("lis/parallel", in, eng.execution_context().with_seed(100 + i));
+    EXPECT_EQ(pp::score_of(rs[i].result.value), pp::score_of(solo.value)) << i;
+  }
+}
+
+TEST(Serve, InflightRunsNeverExceedLimit) {
+  // Acceptance (b), second half: with max_inflight_runs = R, concurrent
+  // leased pools never exceed R. Batching off so every request is its own
+  // run_scope; pool_cache::in_use() is sampled while the engine churns.
+  constexpr unsigned kR = 2;
+  engine_options opt;
+  opt.max_inflight_runs = kR;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_seed(3);
+  engine eng(opt);
+
+  // Input built before the lease baseline: the parallel input factory
+  // itself leases a pool (it runs outside any scheduler binding).
+  auto in = registry::instance().make_input("lis", 2'000, 9);
+  auto& cache = pp::detail::pool_cache::instance();
+  ASSERT_EQ(cache.in_use(), 0u) << "leaked lease from another test";
+  uint64_t leases_before = cache.acquires();
+  constexpr size_t kReqs = 12;
+  std::vector<std::future<response>> futs;
+  for (size_t i = 0; i < kReqs; ++i) {
+    request req;
+    req.solver = "lis/parallel";
+    req.input = in;
+    req.seed = i;
+    futs.push_back(eng.submit(std::move(req)));
+  }
+  size_t max_in_use = 0;
+  while (true) {
+    max_in_use = std::max(max_in_use, cache.in_use());
+    bool all_done = true;
+    for (auto& f : futs)
+      if (f.wait_for(0ms) != std::future_status::ready) all_done = false;
+    if (all_done) break;
+    std::this_thread::yield();
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  auto st = eng.stats();
+  eng.stop();
+
+  EXPECT_LE(max_in_use, kR) << "concurrent leased pools exceeded max_inflight_runs";
+  EXPECT_LE(st.peak_inflight, kR);
+  EXPECT_EQ(st.batches, kReqs) << "batching off: every request is its own flush";
+  EXPECT_EQ(cache.acquires() - leases_before, st.batches);
+}
+
+TEST(Serve, AnonymousRequestsDeriveSeedsFromBase) {
+  // Requests without a seed execute under derive_seed(base, admission
+  // index) — the run_batch per-item rule, reproducible from the base.
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 1;
+  opt.ctx = native2().with_workers(1).with_seed(77);
+  engine eng(opt);
+
+  auto in = registry::instance().make_input("lis", 400, 1);
+  auto f0 = eng.submit({"lis/parallel", in, std::nullopt});
+  auto f1 = eng.submit({"lis/parallel", in, std::nullopt});
+  response r0 = f0.get(), r1 = f1.get();
+  eng.stop();
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r0.result.seed, pp::derive_seed(77, 0));
+  EXPECT_EQ(r1.result.seed, pp::derive_seed(77, 1));
+}
+
+TEST(Serve, InvalidRequestsFailFastWithoutPoisoningBatches) {
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = 50ms;
+  opt.max_batch = 4;
+  opt.ctx = native2();
+  engine eng(opt);
+
+  auto lis_in = registry::instance().make_input("lis", 300, 1);
+  auto huff_in = registry::instance().make_input("huffman", 300, 1);
+
+  auto bad_name = eng.submit({"lis/no_such_variant", lis_in, 1});
+  auto bad_input = eng.submit({"lis/parallel", huff_in, 1});
+  auto good = eng.submit({"lis/parallel", lis_in, 1});
+
+  response rn = bad_name.get();
+  response ri = bad_input.get();
+  response rg = good.get();
+  eng.stop();
+
+  EXPECT_FALSE(rn.ok());
+  EXPECT_NE(rn.error.find("unknown solver"), std::string::npos) << rn.error;
+  EXPECT_FALSE(ri.ok());
+  EXPECT_NE(ri.error.find("expects a 'lis' input"), std::string::npos) << ri.error;
+  ASSERT_TRUE(rg.ok()) << rg.error;
+}
+
+TEST(Serve, CallbackFormDelivers) {
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 1;
+  opt.ctx = native2().with_workers(1);
+  engine eng(opt);
+
+  std::promise<response> done;
+  auto fut = done.get_future();
+  eng.submit({"lis/parallel", registry::instance().make_input("lis", 300, 4), 4},
+             [&](response r) { done.set_value(std::move(r)); });
+  response r = fut.get();
+  eng.stop();
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.result.seed, 4u);
+  EXPECT_GT(pp::score_of(r.result.value), 0);
+}
+
+TEST(Serve, StopDrainResolvesEverythingOk) {
+  // Acceptance (c): stopping with drain executes the whole queue; every
+  // future resolves ok, no hang.
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 2;
+  opt.ctx = native2();
+  engine eng(opt);
+
+  auto in = registry::instance().make_input("lis", 1'500, 2);
+  std::vector<std::future<response>> futs;
+  for (size_t i = 0; i < 8; ++i) futs.push_back(eng.submit({"lis/parallel", in, i}));
+  eng.stop(/*drain=*/true);
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(0ms), std::future_status::ready) << "stop() returned before resolving";
+    EXPECT_TRUE(f.get().ok());
+  }
+  auto st = eng.stats();
+  EXPECT_EQ(st.completed, 8u);
+  EXPECT_EQ(st.queue_depth, 0u);
+}
+
+TEST(Serve, StopWithoutDrainFailsPendingFutures) {
+  // Acceptance (c): stopping without drain resolves queued-but-unstarted
+  // requests with an error instead of executing them — still no hang, no
+  // unresolved future.
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 1;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_workers(1);
+  engine eng(opt);
+
+  auto in = registry::instance().make_input("lis", 4'000, 2);
+  std::vector<std::future<response>> futs;
+  for (size_t i = 0; i < 16; ++i) futs.push_back(eng.submit({"lis/parallel", in, i}));
+  eng.stop(/*drain=*/false);
+
+  size_t ok = 0, failed = 0;
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(0ms), std::future_status::ready) << "stop() returned before resolving";
+    response r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ++failed;
+      EXPECT_NE(r.error.find("engine stopped"), std::string::npos) << r.error;
+    }
+  }
+  EXPECT_EQ(ok + failed, 16u);
+  EXPECT_GT(failed, 0u) << "expected at least one queued request to be failed by stop";
+
+  // Submitting after stop fails immediately.
+  auto late = eng.submit({"lis/parallel", in, 1});
+  ASSERT_EQ(late.wait_for(0ms), std::future_status::ready);
+  EXPECT_FALSE(late.get().ok());
+}
+
+TEST(Serve, BoundedQueueBackpressureCompletesEverything) {
+  // A tiny queue forces submit() to block; all requests still complete.
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 1;
+  opt.queue_capacity = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_workers(1);
+  engine eng(opt);
+
+  auto in = registry::instance().make_input("lis", 1'000, 3);
+  std::vector<std::future<response>> futs;
+  for (size_t i = 0; i < 10; ++i) futs.push_back(eng.submit({"lis/parallel", in, i}));
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  eng.stop();
+  EXPECT_EQ(eng.stats().completed, 10u);
+}
+
+TEST(Serve, NoScopeRaceConflicts) {
+  // Concurrent executors share one execution profile, so the context
+  // scope-race detector must stay quiet under parallel serving load.
+  uint64_t conflicts_before = pp::detail::scope_conflicts();
+  engine_options opt;
+  opt.max_inflight_runs = 3;
+  opt.workers_per_run = 1;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_workers(1).with_seed(11);
+  engine eng(opt);
+
+  auto in = registry::instance().make_input("lis", 1'000, 5);
+  std::vector<std::future<response>> futs;
+  for (size_t i = 0; i < 24; ++i) futs.push_back(eng.submit({"lis/parallel", in, i}));
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  eng.stop();
+  EXPECT_EQ(pp::detail::scope_conflicts(), conflicts_before);
+}
+
+}  // namespace

@@ -242,8 +242,10 @@ int cmd_batch(int argc, char** argv) {
   std::printf("backend  = %s (workers = %u, grain = %zu, pivot = %s)\n",
               std::string(pp::backend_name(batch.backend)).c_str(), batch.workers, opt.ctx.grain,
               pp::pivot_policy_name(opt.ctx.pivot));
-  std::printf("time     = %.6f s total, %.6f s min, %.6f s mean, %.6f s p95\n",
-              batch.total_seconds, batch.min_seconds, batch.mean_seconds, batch.p95_seconds);
+  std::printf("time     = %.6f s total, %.6f s min, %.6f s mean, %.6f s p50, %.6f s p95, "
+              "%.6f s p99, %.6f s max\n",
+              batch.total_seconds, batch.min_seconds, batch.mean_seconds, batch.p50_seconds,
+              batch.p95_seconds, batch.p99_seconds, batch.max_seconds);
   std::printf("rounds   = %zu total\n", batch.total_rounds);
   for (size_t i = 0; i < batch.count(); ++i) {
     std::printf("item %-4zu seed=%llu score=%lld seconds=%.6f rounds=%zu\n", i,

@@ -1,0 +1,190 @@
+// ppfuzz: registry-driven nightly fuzzer (the ROADMAP soak harness, grown
+// up from tests/test_soak.cpp's fixed sweep).
+//
+// Until --duration expires, repeatedly: pick a random registered solver, a
+// random backend, a random seed, and a random size n (log-uniform in
+// [50, --max-n]); build the problem's default input; run the solver and
+// its family's sequential reference on the same input; compare canonical
+// scores (pp::score_of). On a mismatch the failure is *minimized* — n is
+// halved while the mismatch reproduces — and printed as a ready-to-run
+// ppdriver command line:
+//
+//   ppfuzz: FAILURE solver=mis/tas backend=native seed=123 n=800 ...
+//   reproduce: ppdriver run mis/tas --n 800 --seed 123 --backend native
+//
+// Exit code: 0 = all iterations agreed, 1 = at least one failure (the
+// nightly workflow fails on it). PP_TEST_SKIP_OPENMP=1 drops the OpenMP
+// backend, same as the test suite (for TSan-instrumented builds).
+//
+// flags: --duration SEC (default 10), --max-n N (default 4000),
+//        --seed S (base for the run-to-run RNG, default 1),
+//        --verbose (print every iteration)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "parallel/random.h"
+
+namespace {
+
+using pp::registry;
+
+// Sequential reference of a solver family ("lis/parallel" -> family "lis").
+// Every family names its reference "<family>/sequential" except sssp,
+// whose sequential baseline is Dijkstra.
+std::string reference_of(const std::string& solver_name) {
+  std::string family = solver_name.substr(0, solver_name.find('/'));
+  std::string ref = family + "/sequential";
+  if (!registry::instance().contains(ref) && family == "sssp") ref = "sssp/dijkstra";
+  return ref;
+}
+
+struct trial {
+  std::string solver;
+  std::string reference;
+  pp::backend_kind backend = pp::backend_kind::native;
+  uint64_t seed = 0;
+  size_t n = 0;
+};
+
+// Run one (solver, backend, seed, n) comparison. Returns true on
+// agreement; on disagreement fills the two scores. Exceptions count as
+// failures too (what() into `error`).
+bool agree(const trial& t, int64_t& ref_score, int64_t& got_score, std::string& error) {
+  try {
+    const pp::solver_info* si = registry::instance().info(t.solver);
+    auto input = registry::instance().make_input(si->problem, t.n, t.seed);
+    auto ref = registry::run(
+        t.reference, input,
+        pp::context{}.with_backend(pp::backend_kind::sequential).with_seed(t.seed));
+    auto got =
+        registry::run(t.solver, input, pp::context{}.with_backend(t.backend).with_seed(t.seed));
+    ref_score = pp::score_of(ref.value);
+    got_score = pp::score_of(got.value);
+    return ref_score == got_score;
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--duration SEC] [--max-n N] [--seed S] [--verbose]\n"
+               "fuzzes every registered solver against its sequential reference on\n"
+               "random (backend, seed, n) triples until the duration expires;\n"
+               "mismatches are minimized and printed as ppdriver repro lines.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double duration = 10.0;
+  size_t max_n = 4000;
+  uint64_t base_seed = 1;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--duration") == 0) {
+      duration = std::atof(need("--duration"));
+    } else if (std::strcmp(argv[i], "--max-n") == 0) {
+      max_n = static_cast<size_t>(std::strtoull(need("--max-n"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      base_seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (max_n < 50) max_n = 50;
+
+  // Candidate solvers: everything that is not its own reference.
+  std::vector<trial> candidates;
+  for (const auto& s : registry::instance().solvers()) {
+    std::string ref = reference_of(s.name);
+    if (ref == s.name) continue;
+    if (!registry::instance().contains(ref)) continue;
+    candidates.push_back({s.name, ref, pp::backend_kind::native, 0, 0});
+  }
+  std::vector<pp::backend_kind> backends{pp::backend_kind::sequential,
+                                         pp::backend_kind::openmp, pp::backend_kind::native};
+  if (std::getenv("PP_TEST_SKIP_OPENMP") != nullptr) backends.erase(backends.begin() + 1);
+
+  pp::random_stream rng(pp::hash64(base_seed ^ 0xf022a3ull) | 1);
+  auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+
+  uint64_t iters = 0;
+  uint64_t failures = 0;
+  while (elapsed() < duration) {
+    trial t = candidates[rng.ith_bounded(iters * 4 + 0, candidates.size())];
+    t.backend = backends[rng.ith_bounded(iters * 4 + 1, backends.size())];
+    t.seed = pp::hash64(rng.ith(iters * 4 + 2));
+    // log-uniform n in [50, max_n]: squash a uniform draw through x^2 so
+    // small sizes (where phase boundaries and empty frontiers live) are
+    // drawn as often as big ones.
+    double u = static_cast<double>(rng.ith_bounded(iters * 4 + 3, 1u << 20)) /
+               static_cast<double>(1u << 20);
+    size_t n = 50 + static_cast<size_t>(u * u * static_cast<double>(max_n - 50));
+    t.n = n;
+    ++iters;
+
+    int64_t ref_score = 0, got_score = 0;
+    std::string error;
+    bool ok = agree(t, ref_score, got_score, error);
+    if (verbose) {
+      std::printf("ppfuzz: %-30s backend=%-10s seed=%llu n=%zu %s\n", t.solver.c_str(),
+                  std::string(pp::backend_name(t.backend)).c_str(),
+                  static_cast<unsigned long long>(t.seed), t.n, ok ? "ok" : "MISMATCH");
+    }
+    if (ok) continue;
+
+    ++failures;
+    // Minimize: halve n while the mismatch still reproduces (the input is
+    // regenerated per size, so a shrunk case is a real standalone repro).
+    size_t fail_n = t.n;
+    while (fail_n > 50) {
+      trial smaller = t;
+      smaller.n = fail_n / 2 < 50 ? 50 : fail_n / 2;
+      if (smaller.n == fail_n) break;
+      int64_t r2 = 0, g2 = 0;
+      std::string e2;
+      if (agree(smaller, r2, g2, e2)) break;
+      fail_n = smaller.n;
+      ref_score = r2;
+      got_score = g2;
+      error = e2;
+    }
+    std::string why = !error.empty() ? error
+                                     : "reference " + t.reference + " score " +
+                                           std::to_string(ref_score) + " vs " +
+                                           std::to_string(got_score);
+    std::printf("ppfuzz: FAILURE solver=%s backend=%s seed=%llu n=%zu (%s)\n",
+                t.solver.c_str(), std::string(pp::backend_name(t.backend)).c_str(),
+                static_cast<unsigned long long>(t.seed), fail_n, why.c_str());
+    std::printf("reproduce: ppdriver run %s --n %zu --seed %llu --backend %s\n",
+                t.solver.c_str(), fail_n, static_cast<unsigned long long>(t.seed),
+                std::string(pp::backend_name(t.backend)).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("ppfuzz: %llu iterations in %.1f s, %llu failure(s)\n",
+              static_cast<unsigned long long>(iters), elapsed(),
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}

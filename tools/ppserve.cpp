@@ -1,0 +1,427 @@
+// ppserve: JSON serving daemon over pp::serve::engine.
+//
+// Speaks newline-delimited JSON. Each request line names a solver and an
+// input size; the daemon builds the input with the registry's per-problem
+// factory, submits it to the async engine (admission control + dynamic
+// micro-batching), and writes one response line per request, in request
+// order per connection:
+//
+//   $ echo '{"solver":"lis/parallel","n":20000,"seed":3}' | ppserve
+//   {"id": 0, "ok": true, "result": {"solver": "lis/parallel", ...}}
+//
+// request fields:
+//   solver  (required) registry name, e.g. "lis/parallel"
+//   n       input size for the problem's default factory (default 20000,
+//           must be in [1, --max-n] — the cap keeps one greedy request
+//           line from OOMing the daemon)
+//   seed    execution + input seed; omitted = derive_seed(base, index) —
+//           the run_batch per-item rule, so an anonymous request stream is
+//           reproducible from the daemon's --seed alone
+//   id      echoed back verbatim (default: the line index)
+//
+// response fields: id, ok, and either "result" (the run_result envelope
+// pp::to_json emits) or "error".
+//
+// Modes:
+//   default       serve stdin, write stdout, exit at EOF
+//   --port P      additionally accept TCP connections on P (NDJSON, one
+//                 engine shared by all connections); stdin EOF still ends
+//                 the process, so a TCP-only deployment uses  ppserve
+//                 --port P < /dev/null  under a supervisor... or just
+//                 keeps stdin open.
+//
+// Engine knobs: --max-inflight R, --workers-per-run W, --batch-window-us U,
+// --max-batch K, --queue N, --backend B, --seed S, --max-n N.
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json.h"
+#include "core/registry.h"
+#include "serve/engine.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PPSERVE_HAS_TCP 1
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define PPSERVE_HAS_TCP 0
+#endif
+
+namespace {
+
+struct daemon_options {
+  pp::serve::engine_options eng;
+  int port = -1;  // -1 = stdin/stdout only
+  // Largest accepted request "n". The input factories allocate O(n) (the
+  // graph ones ~8n edges); without a cap one request line could ask for
+  // hundreds of GB and get the daemon OOM-killed instead of answering
+  // "ok": false.
+  size_t max_n = 10'000'000;
+};
+
+size_t g_max_n = 10'000'000;
+
+// Re-serialize a parsed JSON value (the verbatim-echo path for request
+// ids: numbers, strings, bools, even structured ids survive unchanged).
+void render(const pp::json::value& v, pp::json::writer& w) {
+  if (v.is_null()) {
+    w.value_raw("null");
+  } else if (v.is_bool()) {
+    w.value(v.as_bool());
+  } else if (v.is_string()) {
+    w.value(v.as_string());
+  } else if (v.is_number()) {
+    if (const int64_t* i = std::get_if<int64_t>(&v.raw()))
+      w.value(*i);
+    else if (const uint64_t* u = std::get_if<uint64_t>(&v.raw()))
+      w.value(*u);
+    else
+      w.value(v.as_double());
+  } else if (v.is_array()) {
+    w.begin_array();
+    for (const auto& e : v.as_array()) render(e, w);
+    w.end_array();
+  } else {
+    w.begin_object();
+    for (const auto& [k, e] : v.as_object()) {
+      w.key(k);
+      render(e, w);
+    }
+    w.end_object();
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--max-inflight R] [--workers-per-run W]\n"
+               "          [--batch-window-us U] [--max-batch K] [--queue N]\n"
+               "          [--backend native|openmp|sequential] [--seed S] [--max-n N]\n"
+               "reads newline-delimited JSON requests on stdin (and TCP port P),\n"
+               "writes one JSON response line per request.\n",
+               argv0);
+  return 2;
+}
+
+// One request line -> one response line, responses in request order. The
+// reader thread parses and submits; a writer thread waits on each entry's
+// future in turn and prints, so pipelined lines coalesce in the engine
+// while an interactive client still gets each response as soon as its
+// batch lands (not only at the next input line).
+struct session {
+  explicit session(pp::serve::engine& eng) : eng_(eng) {}
+
+  // Parse + submit. Any problem with the line itself becomes an
+  // immediately-queued error entry; well-formed requests queue a future
+  // and respond when their batch completes.
+  void feed_line(const std::string& line) {
+    ++index_;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) return;  // blank: ignore
+    pp::json::value doc;
+    std::string err;
+    // `id` is kept as raw JSON text: the line index (a JSON number) by
+    // default, or the request's own "id" member re-serialized.
+    std::string id = std::to_string(index_ - 1);
+    if (!pp::json::parse(line, doc, &err)) {
+      enqueue_error(id, "bad request JSON: " + err);
+      return;
+    }
+    if (const pp::json::value* v = doc.find("id")) {
+      // Echoed back verbatim, whatever its type (re-serialized so the
+      // response line stays valid JSON).
+      pp::json::writer w;
+      render(*v, w);
+      id = w.str();
+    }
+    const pp::json::value* solver = doc.find("solver");
+    if (solver == nullptr || !solver->is_string()) {
+      enqueue_error(id, "request needs a string \"solver\" member");
+      return;
+    }
+    // Wrong-typed members are errors, not silent fallbacks or truncation:
+    // a client that sent {"n": "500000"} or {"n": 2000.7} must not get an
+    // ok result for a different computation than it asked for.
+    auto integral = [](const pp::json::value& v) {
+      if (const double* d = std::get_if<double>(&v.raw()))
+        return std::isfinite(*d) && *d == std::floor(*d);
+      return v.is_number();  // int64/uint64 alternatives are exact
+    };
+    int64_t n = 20'000;
+    if (const pp::json::value* v = doc.find("n")) {
+      if (!v->is_number() || !integral(*v)) {
+        enqueue_error(id, "request \"n\" must be an integer");
+        return;
+      }
+      n = v->as_int64();
+    }
+    if (n < 1 || static_cast<uint64_t>(n) > g_max_n) {
+      enqueue_error(id, "request \"n\" must be in [1, " + std::to_string(g_max_n) +
+                            "] (got " + std::to_string(n) + "; raise --max-n to serve larger)");
+      return;
+    }
+
+    pp::serve::request req;
+    req.solver = solver->as_string();
+    if (const pp::json::value* v = doc.find("seed")) {
+      if (!v->is_number() || !integral(*v)) {
+        enqueue_error(id, "request \"seed\" must be an integer");
+        return;
+      }
+      req.seed = v->as_uint64();
+    }
+
+    // Build the input outside the engine (factory cost is the client's,
+    // solve cost is the server's). Input seed = execution seed, the same
+    // rule ppdriver batch uses.
+    const pp::solver_info* si = pp::registry::instance().info(req.solver);
+    if (si == nullptr) {
+      enqueue_error(id, "unknown solver '" + req.solver + "'");
+      return;
+    }
+    uint64_t seed =
+        req.seed ? *req.seed : pp::derive_seed(eng_.options().ctx.seed, index_ - 1);
+    req.seed = seed;
+    try {
+      req.input = pp::registry::instance().make_input(si->problem, static_cast<size_t>(n), seed);
+    } catch (const std::exception& e) {
+      enqueue_error(id, e.what());
+      return;
+    }
+    push({id, eng_.submit(std::move(req)), {}});
+  }
+
+  // Writer side: pop entries in request order, wait, print. Runs until
+  // finish() and the queue drains.
+  void writer_loop(FILE* out) {
+    for (;;) {
+      entry e;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [&] { return done_ || !out_.empty(); });
+        if (out_.empty()) return;
+        e = std::move(out_.front());
+        out_.pop_front();
+      }
+      pp::json::writer w;
+      w.begin_object();
+      w.key("id").value_raw(e.id);
+      if (e.fut.valid()) {
+        pp::serve::response r = e.fut.get();
+        w.member("ok", r.ok());
+        if (r.ok())
+          w.key("result").value_raw(pp::to_json(r.result));
+        else
+          w.member("error", r.error);
+      } else {
+        w.member("ok", false);
+        w.member("error", e.err);
+      }
+      w.end_object();
+      std::fprintf(out, "%s\n", w.str().c_str());
+      std::fflush(out);
+    }
+  }
+
+  void finish() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  struct entry {
+    std::string id;                        // raw JSON text (number or string)
+    std::future<pp::serve::response> fut;  // invalid => `err` below
+    std::string err;
+  };
+
+  void push(entry e) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      out_.push_back(std::move(e));
+    }
+    cv_.notify_one();
+  }
+
+  void enqueue_error(std::string id, std::string err) {
+    entry e;
+    e.id = std::move(id);
+    e.err = std::move(err);
+    push(std::move(e));
+  }
+
+  pp::serve::engine& eng_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<entry> out_;
+  bool done_ = false;
+  uint64_t index_ = 0;
+};
+
+void serve_stream(pp::serve::engine& eng, FILE* in, FILE* out) {
+  session s(eng);
+  std::thread writer([&] { s.writer_loop(out); });
+  std::string line;
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') {
+      s.feed_line(line);
+      line.clear();
+    } else {
+      line += static_cast<char>(c);
+    }
+  }
+  if (!line.empty()) s.feed_line(line);
+  s.finish();
+  writer.join();
+}
+
+#if PPSERVE_HAS_TCP
+void serve_tcp(pp::serve::engine& eng, int port) {
+  // A client that disconnects before reading its response must not kill
+  // the daemon: writes to its closed socket should fail with EPIPE, not
+  // raise SIGPIPE (default disposition: terminate the whole process).
+  std::signal(SIGPIPE, SIG_IGN);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("ppserve: socket");
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    std::perror("ppserve: bind/listen");
+    ::close(fd);
+    return;
+  }
+  std::fprintf(stderr, "ppserve: listening on 127.0.0.1:%d\n", port);
+  for (;;) {
+    int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      // Transient failures (fd exhaustion under a connection burst, a
+      // connection aborted before accept, a signal) must not permanently
+      // kill the TCP surface of an otherwise healthy daemon.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE || errno == ENFILE) {
+        std::perror("ppserve: accept (transient)");
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      std::perror("ppserve: accept");
+      break;
+    }
+    std::thread([&eng, client] {
+      // Every fd owns exactly one owner on every path: a failed fdopen
+      // must not strand `client` (or the dup) open, or fd exhaustion
+      // becomes permanent instead of transient.
+      FILE* in = ::fdopen(client, "r");
+      if (in == nullptr) {
+        ::close(client);
+        return;
+      }
+      int wfd = ::dup(client);
+      FILE* out = wfd >= 0 ? ::fdopen(wfd, "w") : nullptr;
+      if (out == nullptr) {
+        if (wfd >= 0) ::close(wfd);
+        std::fclose(in);
+        return;
+      }
+      serve_stream(eng, in, out);
+      std::fclose(in);
+      std::fclose(out);
+    }).detach();
+  }
+  ::close(fd);
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  daemon_options opt;
+  opt.eng.ctx = pp::default_context();
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      opt.port = std::atoi(need("--port"));
+      if (opt.port < 1 || opt.port > 65535) {
+        std::fprintf(stderr, "%s: --port must be in [1, 65535]\n", argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0) {
+      opt.eng.max_inflight_runs = static_cast<unsigned>(std::atoi(need("--max-inflight")));
+    } else if (std::strcmp(argv[i], "--workers-per-run") == 0) {
+      opt.eng.workers_per_run = static_cast<unsigned>(std::atoi(need("--workers-per-run")));
+    } else if (std::strcmp(argv[i], "--batch-window-us") == 0) {
+      opt.eng.batch_window = std::chrono::microseconds(std::atoll(need("--batch-window-us")));
+    } else if (std::strcmp(argv[i], "--max-batch") == 0) {
+      opt.eng.max_batch = static_cast<size_t>(std::atoll(need("--max-batch")));
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      opt.eng.queue_capacity = static_cast<size_t>(std::atoll(need("--queue")));
+    } else if (std::strcmp(argv[i], "--max-n") == 0) {
+      opt.max_n = static_cast<size_t>(std::strtoull(need("--max-n"), nullptr, 10));
+      if (opt.max_n < 1) opt.max_n = 1;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.eng.ctx.seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      const char* b = need("--backend");
+      auto kind = pp::parse_backend(b);
+      if (!kind) {
+        std::fprintf(stderr, "%s: unknown backend '%s'\n", argv[0], b);
+        return 2;
+      }
+      opt.eng.ctx.backend = *kind;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  g_max_n = opt.max_n;
+  pp::serve::engine eng(opt.eng);
+
+#if PPSERVE_HAS_TCP
+  std::thread tcp;
+  if (opt.port >= 0) tcp = std::thread([&] { serve_tcp(eng, opt.port); });
+#else
+  if (opt.port >= 0) {
+    std::fprintf(stderr, "%s: --port not supported on this platform\n", argv[0]);
+    return 2;
+  }
+#endif
+
+  serve_stream(eng, stdin, stdout);
+
+#if PPSERVE_HAS_TCP
+  if (tcp.joinable()) {
+    // stdin closed: a TCP-mode daemon keeps serving until killed.
+    tcp.join();
+  }
+#endif
+  eng.stop(/*drain=*/true);
+  return 0;
+}
