@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/cancel.h"
 #include "core/fenwick.h"
 #include "core/phase_runner.h"
 #include "pabst/augmented_map.h"
@@ -148,6 +149,7 @@ activity_result activity_select_type1_flat(std::span<const activity> acts) {
   atomic_fenwick_max<int64_t> fw(n, 0);
   size_t p = 0;
   while (p < n) {
+    cancel_point();  // between frontier rounds: quiescent, cancellable
     int64_t e_x = sufmin[p];
     size_t q = static_cast<size_t>(std::lower_bound(starts.begin() + p, starts.end(), e_x) -
                                    starts.begin());
@@ -216,6 +218,7 @@ activity_result activity_select_type2(std::span<const activity> acts) {
   frontier32 = pack(std::span<const uint32_t>(frontier32),
                     [&](size_t i) { return pivot[i] == kNoPivot; });
   while (!frontier32.empty()) {
+    cancel_point();  // between wake-up rounds: quiescent, cancellable
     res.stats.record_frontier(frontier32.size());
     res.stats.wakeup_attempts += frontier32.size();
     parallel_for(0, frontier32.size(), [&](size_t k) {

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "algos/list_ranking.h"
+#include "core/cancel.h"
 #include "parallel/api.h"
 #include "parallel/primitives.h"
 
@@ -89,6 +90,7 @@ unweighted_activity_result activity_unweighted_parallel(std::span<const activity
   std::vector<int32_t> rank2(n);
   bool any = true;
   while (any) {
+    cancel_point();  // between jumping rounds: quiescent, cancellable
     res.stats.rounds++;
     std::atomic<bool> more{false};
     parallel_for(0, n, [&](size_t i) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/cancel.h"
 #include "parallel/api.h"
 #include "parallel/primitives.h"
 #include "parallel/random.h"
@@ -95,6 +96,7 @@ huffman_result huffman_parallel(std::span<const uint64_t> freqs) {
   uint32_t next_id = static_cast<uint32_t>(n);
 
   while (cur.size() > 1) {
+    cancel_point();  // between merge rounds: quiescent, cancellable
     // f_m = sum of the two smallest frequencies; everything below f_m is
     // ready (no later object can be smaller), Lemma-style argument of
     // Sec. 4.3.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/cancel.h"
 #include "parallel/api.h"
 #include "parallel/primitives.h"
 #include "parallel/random.h"
@@ -34,6 +35,7 @@ knapsack_result knapsack_parallel(int64_t W, std::span<const knapsack_item> item
   // Round r settles the whole window [r*w*, (r+1)*w*): every dependence
   // dp[j - w_i] has j - w_i <= j - w* < r*w*, i.e. lies in earlier rounds.
   for (int64_t lo = 0; lo <= W; lo += wstar) {
+    cancel_point();  // between window rounds: quiescent, cancellable
     int64_t hi = std::min<int64_t>(W + 1, lo + wstar);
     res.stats.record_frontier(static_cast<size_t>(hi - lo));
     parallel_for(static_cast<size_t>(lo), static_cast<size_t>(hi), [&](size_t j) {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/cancel.h"
 #include "parallel/api.h"
 #include "parallel/primitives.h"
 #include "parallel/random.h"
@@ -89,6 +90,7 @@ weighted_ranking_result list_ranking_weighted_parallel(std::span<const uint32_t>
   std::vector<uint8_t> spliced(n, 0);
   // keep the last node alive as the anchor (its rank seeds the expansion)
   while (live.size() > 1) {
+    cancel_point();  // between contraction rounds: quiescent, cancellable
     // local priority minima among live nodes: lower priority than both
     // current neighbors (P(x) has size <= 2, the constant-size case)
     auto ready = pack(std::span<const uint32_t>(live), [&](size_t k) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "core/cancel.h"
 #include "parallel/api.h"
 #include "parallel/primitives.h"
 #include "parallel/sort.h"
@@ -82,6 +83,7 @@ matching_result matching_rounds(const graph& g, std::span<const uint32_t> edge_p
   auto live_vertices = tabulate<vertex_t>(n, [](size_t v) { return static_cast<vertex_t>(v); });
   size_t undecided = m;
   while (undecided > 0) {
+    cancel_point();  // between matching rounds: quiescent, cancellable
     // collect ready edges: first undecided at both endpoints
     std::vector<uint32_t> ready;
     for (auto v : live_vertices) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 
+#include "core/cancel.h"
 #include "parallel/api.h"
 #include "parallel/primitives.h"
 #include "parallel/sort.h"
@@ -35,6 +36,7 @@ mis_result mis_rounds(const graph& g, std::span<const uint32_t> priority) {
   parallel_for(0, n, [&](size_t v) { status[v].store(0, std::memory_order_relaxed); });
   auto undecided = tabulate<vertex_t>(n, [](size_t i) { return static_cast<vertex_t>(i); });
   while (!undecided.empty()) {
+    cancel_point();  // between selection rounds: quiescent, cancellable
     res.stats.record_frontier(undecided.size());
     // Select every undecided vertex whose priority beats all undecided
     // neighbors (= the ready set of the dependence graph).

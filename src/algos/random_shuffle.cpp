@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "core/cancel.h"
 #include "parallel/api.h"
 #include "parallel/primitives.h"
 #include "parallel/random.h"
@@ -36,6 +37,7 @@ shuffle_result knuth_shuffle_parallel(size_t n, std::span<const uint32_t> target
 
   auto remaining = tabulate<uint32_t>(n - 1, [](size_t k) { return static_cast<uint32_t>(k + 1); });
   while (!remaining.empty()) {
+    cancel_point();  // between reservation rounds: quiescent, cancellable
     res.stats.rounds++;
     // Phase 1: every unfinished iteration reserves its two cells.
     parallel_for(0, remaining.size(), [&](size_t k) {

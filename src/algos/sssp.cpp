@@ -4,6 +4,7 @@
 #include <atomic>
 #include <queue>
 
+#include "core/cancel.h"
 #include "parallel/api.h"
 #include "parallel/primitives.h"
 
@@ -105,6 +106,7 @@ sssp_result delta_stepping_impl(const wgraph& g, vertex_t source, uint32_t delta
     std::vector<vertex_t> frontier = std::move(buckets[cur]);
     buckets[cur].clear();
     while (!frontier.empty()) {
+      cancel_point();  // between relax substeps: quiescent, cancellable
       // keep only non-stale entries belonging to this bucket, dedup across
       // substeps of this bucket via settled_in_step
       auto active = pack(std::span<const vertex_t>(frontier), [&](size_t i) {
@@ -207,6 +209,7 @@ sssp_result sssp_crauser(const wgraph& g, vertex_t source, bool use_in_criterion
 
   std::vector<vertex_t> queued = {source};  // tentative, not yet settled
   while (!queued.empty()) {
+    cancel_point();  // between settle rounds: quiescent, cancellable
     // OUT-criterion threshold over the queued set
     int64_t threshold = reduce_map(
         size_t{0}, queued.size(), kInfDist,

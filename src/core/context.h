@@ -35,6 +35,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "core/cancel.h"
 #include "parallel/backend.h"
 
 namespace pp {
@@ -56,6 +57,13 @@ struct context {
   uint64_t seed = 1;     // seed for every random choice a solver makes
   size_t grain = 0;      // parallel_for grain; 0 = auto heuristic
   pivot_policy pivot = pivot_policy::rightmost;
+  // Cooperative cancellation handle (core/cancel.h). Null by default; when
+  // set, run_scope installs it for the run's thread and the phase loops
+  // poll it between rounds. NOT a configuration knob: it never changes
+  // what a run computes, only whether it finishes, so it is excluded from
+  // operator== below (two racing runs that differ only in their tokens are
+  // not cross-contaminating configs).
+  cancel_token cancel{};
 
   // Value-style builders so call sites can derive variants in one line:
   //   registry::run(name, in, ctx.with_backend(backend_kind::openmp))
@@ -84,10 +92,21 @@ struct context {
     c.pivot = p;
     return c;
   }
+  context with_cancel(cancel_token t) const {
+    context c = *this;
+    c.cancel = std::move(t);
+    return c;
+  }
 
-  // Field-wise equality: two runs "agree" iff every knob matches. Used by
-  // the scope-race detector below and handy in tests.
-  friend bool operator==(const context&, const context&) = default;
+  // Config-wise equality: two runs "agree" iff every knob that affects
+  // what they compute matches. Used by the scope-race detector below and
+  // handy in tests. The cancel token is deliberately ignored — concurrent
+  // serving batches carry per-request deadline tokens and must not be
+  // flagged as conflicting configs.
+  friend bool operator==(const context& a, const context& b) {
+    return a.backend == b.backend && a.workers == b.workers && a.seed == b.seed &&
+           a.grain == b.grain && a.pivot == b.pivot;
+  }
 };
 
 // Process-wide defaults; mutable so startup code can configure them once.

@@ -70,6 +70,7 @@ dominance_result dominance_dp_impl(std::span<const uint32_t> y_ranks,
   std::vector<uint32_t> new_pivot(n);
   size_t round = 0;
   while (!todo.empty()) {
+    cancel_point();  // between wake-up rounds: quiescent, cancellable
     ++round;
     res.stats.wakeup_attempts += todo.size();
     // Attempt to wake every object in the todo list (Lines 28-33).

@@ -12,16 +12,22 @@
 
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/stats.h"
 
 namespace pp {
 
 // extract() -> container of ready objects for this round (empty = done);
-// process(frontier) performs the round's work.
+// process(frontier) performs the round's work. The boundary between
+// rounds is a quiescent point (no parallel region in flight), so the
+// run's cancel token — if any — is polled there: a cancelled run throws
+// cancelled_error out of the loop instead of burning its remaining
+// rounds (run_timed turns that into run_status::cancelled).
 template <typename Extract, typename Process>
 phase_stats run_type1(Extract extract, Process process) {
   phase_stats stats;
   while (true) {
+    cancel_point();
     auto frontier = extract();
     if (frontier.empty()) break;
     stats.record_frontier(frontier.size());

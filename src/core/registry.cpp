@@ -179,6 +179,11 @@ batch_result<solver_value> registry::run_batch_impl(
                                 std::to_string(opts.seeds.size()) + " entries for " +
                                 std::to_string(count) + " items");
   }
+  if (!opts.tokens.empty() && opts.tokens.size() != count) {
+    throw std::invalid_argument("pp::registry: batch_options.tokens has " +
+                                std::to_string(opts.tokens.size()) + " entries for " +
+                                std::to_string(count) + " items");
+  }
   batch_result<solver_value> out;
   out.solver = e.info.name;
   out.backend = ctx.backend;
@@ -213,11 +218,28 @@ batch_result<solver_value> registry::run_batch_impl(
     context item_ctx = !opts.seeds.empty() ? ctx.with_seed(opts.seeds[i])
                        : opts.derive_seeds ? ctx.with_seed(derive_seed(ctx.seed, i))
                                            : ctx;
+    if (!opts.tokens.empty()) item_ctx = item_ctx.with_cancel(opts.tokens[i]);
+    // An item whose token already fired (e.g. its deadline passed while
+    // earlier batchmates ran) is skipped outright: a cancelled envelope
+    // with no solve time, instead of starting work nobody wants. Items
+    // with live (or no) tokens execute normally — only the expired ones
+    // fail.
+    if (item_ctx.cancel.cancelled()) {
+      run_result<solver_value> res;
+      res.solver = e.info.name;
+      res.backend = item_ctx.backend;
+      res.seed = item_ctx.seed;
+      res.workers = out.workers;
+      res.status = run_status::cancelled;
+      out.scores[i] = 0;
+      out.items[i] = std::move(res);
+      continue;
+    }
     const problem_input& in = input_at(i);
     auto res = run_timed(e.info.name, item_ctx,
                          [&](const context& c) -> solver_value { return e.fn(in, c); });
     res.stats = stats_of(res.value);
-    out.scores[i] = score_of(res.value);
+    out.scores[i] = res.cancelled() ? 0 : score_of(res.value);
     out.items[i] = std::move(res);
   }
   out.recompute_aggregates();
@@ -248,6 +270,7 @@ void write_run(json::writer& w, const run_result<solver_value>& r) {
   w.member("backend", backend_name(r.backend));
   w.member("workers", static_cast<uint64_t>(r.workers));
   w.member("seed", r.seed);
+  w.member("status", run_status_name(r.status));
   w.member("seconds", r.seconds);
   w.member("score", score_of(r.value));
   w.member("summary", summary_of(r.value));

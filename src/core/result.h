@@ -29,6 +29,15 @@
 
 namespace pp {
 
+// How a run ended. `cancelled` means the run's cancel token fired (manual
+// cancel or blown deadline) and the solver unwound at a phase boundary:
+// `value` is default-constructed, `seconds` covers the partial solve.
+enum class run_status { ok, cancelled };
+
+inline const char* run_status_name(run_status s) {
+  return s == run_status::ok ? "ok" : "cancelled";
+}
+
 template <typename T>
 struct run_result {
   T value{};             // the solver's own result struct
@@ -37,7 +46,10 @@ struct run_result {
   backend_kind backend = backend_kind::native;  // backend the run used
   uint64_t seed = 0;                            // seed the run used
   unsigned workers = 0;  // actual worker count the run executed on
+  run_status status = run_status::ok;           // ok, or cancelled mid-run
   std::string solver;                           // registry name, e.g. "lis/parallel"
+
+  bool cancelled() const { return status == run_status::cancelled; }
 };
 
 // How registry::run_batch walks a batch.
@@ -60,6 +72,13 @@ struct batch_options {
   // batch — item i must reproduce registry::run under exactly seeds[i].
   // Size must equal the batch count (std::invalid_argument otherwise).
   std::vector<uint64_t> seeds;
+  // Non-empty: item i executes under tokens[i] (null entries = not
+  // cancellable). An item whose token has already fired when its turn
+  // comes is skipped without running — its envelope reports
+  // run_status::cancelled — and a token firing mid-item cancels that item
+  // at its next phase boundary while later items still execute under
+  // their own tokens. Size must equal the batch count.
+  std::vector<cancel_token> tokens;
 };
 
 inline const char* item_order_name(batch_options::item_order o) {
@@ -74,7 +93,10 @@ struct batch_result {
   // Aggregates over items[*].seconds / .stats (recompute_aggregates()).
   // Percentiles are nearest-rank, so each one is an actual observed item
   // time and the ordering min <= p50 <= p95 <= p99 <= max always holds
-  // (as does min <= mean <= max).
+  // (as does min <= mean <= max). Only items that completed (run_status::
+  // ok) contribute: a cancelled item's partial (or zero, when skipped)
+  // solve time is not a completed-solve observation and would deflate
+  // min/mean/percentiles. All items cancelled = all aggregates zero.
   double total_seconds = 0.0;  // sum of per-item solve times
   double min_seconds = 0.0;
   double mean_seconds = 0.0;
@@ -101,10 +123,12 @@ struct batch_result {
     std::vector<double> secs;
     secs.reserve(items.size());
     for (const auto& it : items) {
+      if (it.status != run_status::ok) continue;
       secs.push_back(it.seconds);
       total_seconds += it.seconds;
       total_rounds += it.stats.rounds;
     }
+    if (secs.empty()) return;
     std::sort(secs.begin(), secs.end());
     min_seconds = secs.front();
     max_seconds = secs.back();
@@ -124,7 +148,10 @@ struct batch_result {
 // starts (pool lease + thread spawn-up stay out of the measurement) and
 // held until fn returns, so the whole solve executes on — and the envelope
 // reports — the width the context asked for. If the payload has a `.stats`
-// member it is mirrored into the envelope.
+// member it is mirrored into the envelope. A cancelled_error unwinding out
+// of fn (the context's cancel token fired at a phase boundary) is caught
+// here and reported as run_status::cancelled, so cancellation is a status,
+// not an exception, at every envelope-returning surface.
 template <typename F>
 auto run_timed(std::string solver, const context& ctx, F&& fn)
     -> run_result<std::decay_t<decltype(fn(ctx))>> {
@@ -135,7 +162,11 @@ auto run_timed(std::string solver, const context& ctx, F&& fn)
   scoped_scheduler sched(ctx);
   out.workers = sched.workers();
   auto t0 = std::chrono::steady_clock::now();
-  out.value = fn(ctx);
+  try {
+    out.value = fn(ctx);
+  } catch (const cancelled_error&) {
+    out.status = run_status::cancelled;
+  }
   auto t1 = std::chrono::steady_clock::now();
   out.seconds = std::chrono::duration<double>(t1 - t0).count();
   if constexpr (requires(std::decay_t<decltype(fn(ctx))> v) { v.stats; }) {

@@ -108,19 +108,22 @@ class scoped_scheduler {
 };
 
 // What every ctx-form solver entry installs: activates `c` for the
-// implicit parallel_for/par_do forms (scoped_context) AND binds the run's
-// scheduler (scoped_scheduler), so the whole solve executes on one leased
-// pool instead of paying a lease cycle per top-level parallel region.
-// Construction order matters: the scope registers with the race detector
-// before the lease pins the thread.
+// implicit parallel_for/par_do forms (scoped_context), binds the run's
+// scheduler (scoped_scheduler) so the whole solve executes on one leased
+// pool instead of paying a lease cycle per top-level parallel region, AND
+// installs the context's cancel token for this thread (scoped_cancel) so
+// the phase loops' cancel_point() polls the right run's token — and only
+// it. Construction order matters: the scope registers with the race
+// detector before the lease pins the thread.
 class run_scope {
  public:
-  explicit run_scope(const context& c) : scope_(c), sched_(c) {}
+  explicit run_scope(const context& c) : scope_(c), sched_(c), cancel_(c.cancel) {}
   unsigned workers() const { return sched_.workers(); }
 
  private:
   scoped_context scope_;
   scoped_scheduler sched_;
+  scoped_cancel cancel_;
 };
 
 namespace detail {

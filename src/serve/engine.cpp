@@ -5,6 +5,8 @@
 #include <span>
 #include <utility>
 
+#include "core/json.h"
+
 namespace pp::serve {
 
 namespace detail {
@@ -84,17 +86,24 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
                            "' input, got '" + std::string(problem_name_of(req.input)) + "'",
                        failed_, cb);
   }
+  // A deadline already in the past never enters the queue: reject it here
+  // (an `expired` response) instead of letting it occupy bounded capacity
+  // just to be dropped at pop time.
+  if (req.deadline && *req.deadline <= std::chrono::steady_clock::now())
+    return ready_error("expired: deadline passed before admission", expired_, cb);
 
   pending p;
   p.solver = std::move(req.solver);
   p.input = std::move(req.input);
+  p.deadline = req.deadline;
+  p.prio = req.prio;
   p.cb = std::move(cb);
   std::future<response> fut;
   if (!p.cb) fut = p.prom.get_future();
 
   {
     std::unique_lock<std::mutex> lk(m_);
-    not_full_.wait(lk, [&] { return stopping_ || queue_.size() < opts_.queue_capacity; });
+    not_full_.wait(lk, [&] { return stopping_ || queued_locked() < opts_.queue_capacity; });
     if (stopping_) {
       lk.unlock();
       response r;
@@ -103,9 +112,8 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
       deliver(p, std::move(r));
       return fut;
     }
-    p.seed = req.seed ? *req.seed : derive_seed(opts_.ctx.seed, seq_);
-    ++seq_;
-    queue_.push_back(std::move(p));
+    p.seed = req.seed ? *req.seed : reserve_anonymous_seed();
+    queues_[queue_index(p.prio)].push_back(std::move(p));
     submitted_.fetch_add(1, std::memory_order_relaxed);
   }
   // notify_all, not notify_one: a single notify can be swallowed by an
@@ -116,56 +124,109 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
   return fut;
 }
 
+bool engine::pop_head_locked(std::vector<pending>& dead, pending& head) {
+  auto now = std::chrono::steady_clock::now();
+  // Every pop sweeps expired entries out of BOTH deques — not just the
+  // one the head comes from. Under sustained interactive traffic the
+  // batch deque might otherwise never be examined, leaving an expired
+  // batch request unresolved (a hung future) while it pins bounded queue
+  // capacity for work that can never run. O(queue) per pop, same bound
+  // the gather sweep already pays.
+  for (auto& q : queues_) {
+    for (auto it = q.begin(); it != q.end();) {
+      if (is_expired(*it, now)) {
+        // Blown deadline while queued: drop without a pool lease.
+        dead.push_back(std::move(*it));
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Higher class first. With priority_classes off everything lives in
+  // queues_[0], so the order collapses to plain FIFO.
+  for (size_t ci = 2; ci-- > 0;) {
+    std::deque<pending>& q = queues_[ci];
+    if (!q.empty()) {
+      head = std::move(q.front());
+      q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
 void engine::executor_loop() {
   for (;;) {
     std::vector<pending> batch;
+    std::vector<pending> dead;  // expired while queued; resolved below, leaseless
     {
       std::unique_lock<std::mutex> lk(m_);
-      not_empty_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ && drained
+      not_empty_.wait(lk, [&] { return stopping_ || queued_locked() > 0; });
+      if (queued_locked() == 0) return;  // stopping_ && drained
+      pending head;
+      if (pop_head_locked(dead, head)) {
+        batch.push_back(std::move(head));
+        // By value: growing `batch` reallocates and would invalidate a
+        // reference into batch.front().
+        const std::string solver = batch.front().solver;
+        const priority cls = batch.front().prio;
 
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      // By value: growing `batch` reallocates and would invalidate a
-      // reference into batch.front().
-      const std::string solver = batch.front().solver;
-
-      // Sweep everything for this solver already waiting, then keep the
-      // window open for late arrivals until the batch fills, the window
-      // closes, or the engine is stopping (stop cuts windows short so
-      // drain is prompt). Each sweep rescans the queue under m_ — O(queue)
-      // per window wakeup, which the operator bounds via queue_capacity;
-      // a resumable scan cursor would be invalidated by the other
-      // executors' own erases and is not worth the bookkeeping here.
-      auto gather = [&] {
-        bool removed = false;
-        for (auto it = queue_.begin(); it != queue_.end() && batch.size() < opts_.max_batch;) {
-          if (it->solver == solver) {
-            batch.push_back(std::move(*it));
-            it = queue_.erase(it);
-            removed = true;
-          } else {
-            ++it;
+        // Sweep everything for this solver (and, with QoS on, this class —
+        // a batch request must never ride an interactive flush's lease)
+        // already waiting, then keep the window open for late arrivals
+        // until the batch fills, the window closes, or the engine is
+        // stopping (stop cuts windows short so drain is prompt). Each
+        // sweep rescans the class deque under m_ — O(queue) per window
+        // wakeup, which the operator bounds via queue_capacity. Expired
+        // entries encountered on the way are dropped leaselessly like at
+        // pop time.
+        std::deque<pending>& q = queues_[queue_index(cls)];
+        auto gather = [&] {
+          bool removed = false;
+          auto now = std::chrono::steady_clock::now();
+          for (auto it = q.begin(); it != q.end() && batch.size() < opts_.max_batch;) {
+            if (is_expired(*it, now)) {
+              dead.push_back(std::move(*it));
+              it = q.erase(it);
+              removed = true;
+            } else if (it->solver == solver &&
+                       (!opts_.priority_classes || it->prio == cls)) {
+              batch.push_back(std::move(*it));
+              it = q.erase(it);
+              removed = true;
+            } else {
+              ++it;
+            }
           }
-        }
-        // Wake backpressured submitters NOW, not after the window closes:
-        // with a small queue, a window-waiting executor that just drained
-        // it is waiting for exactly the requests those submitters hold.
-        if (removed) not_full_.notify_all();
-      };
-      gather();
-      if (opts_.batch_window.count() > 0) {
-        auto deadline = std::chrono::steady_clock::now() + opts_.batch_window;
-        while (batch.size() < opts_.max_batch && !stopping_) {
-          if (not_empty_.wait_until(lk, deadline) == std::cv_status::timeout) {
+          // Wake backpressured submitters NOW, not after the window
+          // closes: with a small queue, a window-waiting executor that
+          // just drained it is waiting for exactly the requests those
+          // submitters hold.
+          if (removed) not_full_.notify_all();
+        };
+        gather();
+        if (opts_.batch_window.count() > 0) {
+          auto window_end = std::chrono::steady_clock::now() + opts_.batch_window;
+          while (batch.size() < opts_.max_batch && !stopping_) {
+            if (not_empty_.wait_until(lk, window_end) == std::cv_status::timeout) {
+              gather();
+              break;
+            }
             gather();
-            break;
           }
-          gather();
         }
       }
     }
     not_full_.notify_all();
+    for (auto& p : dead) deliver_expired(p);
+    if (batch.empty()) {
+      // Everything we popped had expired; go back to waiting (or exit if
+      // the engine is stopping and the queues drained meanwhile).
+      std::lock_guard<std::mutex> lk(m_);
+      if (stopping_ && queued_locked() == 0) return;
+      continue;
+    }
     // A same-solver request arriving while we execute is picked up by
     // another executor (or by us on the next loop) — the queue is never
     // blocked on a running batch.
@@ -184,9 +245,20 @@ void engine::execute(std::vector<pending> batch) {
   inputs.reserve(batch.size());
   batch_options opts;
   opts.seeds.reserve(batch.size());
+  bool any_deadline = false;
   for (auto& p : batch) {
     inputs.push_back(std::move(p.input));
     opts.seeds.push_back(p.seed);
+    if (p.deadline) any_deadline = true;
+  }
+  // Each deadline'd item carries its own token, so a blown deadline
+  // cancels exactly that item at its next phase boundary (or skips it
+  // before it starts) while batchmates with live or absent deadlines
+  // complete normally — one expired request never fails its flush.
+  if (any_deadline) {
+    opts.tokens.reserve(batch.size());
+    for (auto& p : batch)
+      opts.tokens.push_back(p.deadline ? cancel_token::at(*p.deadline) : cancel_token{});
   }
 
   auto t0 = std::chrono::steady_clock::now();
@@ -201,10 +273,15 @@ void engine::execute(std::vector<pending> batch) {
         std::memory_order_relaxed);
     batches_.fetch_add(1, std::memory_order_relaxed);
     if (batch.size() > 1) batched_.fetch_add(batch.size(), std::memory_order_relaxed);
-    completed_.fetch_add(batch.size(), std::memory_order_relaxed);
     for (; delivered < batch.size(); ++delivered) {
       response r;
       r.result = std::move(br.items[delivered]);
+      if (r.result.cancelled()) {
+        r.error = "cancelled: deadline exceeded mid-run";
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+      }
       deliver(batch[delivered], std::move(r));
     }
   } catch (const std::exception& e) {
@@ -237,12 +314,24 @@ void engine::deliver(pending& p, response&& r) {
   }
 }
 
+void engine::deliver_expired(pending& p) {
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  response r;
+  r.error = "expired: deadline passed while queued";
+  deliver(p, std::move(r));
+}
+
 void engine::stop(bool drain) {
   std::deque<pending> orphans;
   {
     std::lock_guard<std::mutex> lk(m_);
     stopping_ = true;
-    if (!drain) orphans.swap(queue_);
+    if (!drain) {
+      for (auto& q : queues_) {
+        for (auto& p : q) orphans.push_back(std::move(p));
+        q.clear();
+      }
+    }
   }
   not_empty_.notify_all();
   not_full_.notify_all();
@@ -262,13 +351,32 @@ engine_stats engine::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched = batched_.load(std::memory_order_relaxed);
   s.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
   s.exec_seconds = static_cast<double>(exec_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   std::lock_guard<std::mutex> lk(m_);
-  s.queue_depth = queue_.size();
+  s.queue_depth = queued_locked();
   return s;
+}
+
+std::string to_json(const engine_stats& s) {
+  json::writer w;
+  w.begin_object();
+  w.member("submitted", s.submitted);
+  w.member("completed", s.completed);
+  w.member("failed", s.failed);
+  w.member("expired", s.expired);
+  w.member("cancelled", s.cancelled);
+  w.member("batches", s.batches);
+  w.member("batched", s.batched);
+  w.member("peak_inflight", static_cast<uint64_t>(s.peak_inflight));
+  w.member("queue_depth", static_cast<uint64_t>(s.queue_depth));
+  w.member("exec_seconds", s.exec_seconds);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace pp::serve

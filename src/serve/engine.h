@@ -29,6 +29,14 @@
 //    its own seed (batch_options::seeds), so a coalesced submit returns
 //    bit-for-bit what a standalone registry::run under that seed returns.
 //
+//  * QoS. Requests carry a priority class and an optional deadline.
+//    Interactive requests pop before batch requests (FIFO within a
+//    class), coalescing never crosses classes, a request whose deadline
+//    passes while queued is dropped at pop time without taking a pool
+//    lease (`expired`), and an in-flight request carries a
+//    pp::cancel_token so a blown deadline unwinds its solve at the next
+//    phase boundary (`cancelled`) while unexpired batchmates complete.
+//
 // Every batch executes under the engine's single execution profile
 // (options::ctx + workers_per_run): concurrent top-level scopes then agree
 // on every knob except the per-item seeds, which solvers consume through
@@ -49,6 +57,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -58,15 +67,42 @@
 
 namespace pp::serve {
 
+// QoS class of a request. Higher classes pop first (same-class requests
+// stay FIFO), and micro-batching coalesces only within a class, so a
+// batch request can never ride an interactive flush's pool lease.
+enum class priority : uint8_t {
+  batch = 0,        // throughput traffic; yields to interactive
+  interactive = 1,  // latency-sensitive; jumps the admission queue
+};
+
+inline const char* priority_name(priority p) {
+  return p == priority::interactive ? "interactive" : "batch";
+}
+
+inline std::optional<priority> parse_priority(std::string_view s) {
+  if (s == "interactive") return priority::interactive;
+  if (s == "batch") return priority::batch;
+  return std::nullopt;
+}
+
 // One unit of client work: a registered solver plus the input it consumes.
-// `seed` empty = the engine derives one from its base seed and the
-// request's admission index via pp::derive_seed — the same per-item rule
-// run_batch uses, so a stream of anonymous requests is reproducible from
-// the engine's base seed alone.
+// `seed` empty = the engine derives one from its base seed and a
+// daemon-wide anonymous counter via pp::derive_seed — the same per-item
+// rule run_batch uses, so a stream of anonymous requests is reproducible
+// from the engine's base seed alone (and two concurrent clients can never
+// collide on a derived seed).
+//
+// `deadline` empty = run to completion. Set, it is enforced at two points:
+// a request still queued past its deadline is dropped at pop time (an
+// `expired` response, zero pool leases), and an in-flight request carries
+// a pp::cancel_token that cancels its solve at the next phase boundary
+// (a `cancelled` response) — batchmates with live deadlines are unaffected.
 struct request {
   std::string solver;
   problem_input input;
   std::optional<uint64_t> seed;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  priority prio = priority::interactive;
 };
 
 struct response {
@@ -89,6 +125,10 @@ struct engine_options {
   std::chrono::microseconds batch_window{200};
   // Largest coalesced batch; 1 disables coalescing.
   size_t max_batch = 16;
+  // QoS classes on: interactive requests pop before batch requests and
+  // classes never share a flush. Off: one FIFO queue, classes ignored —
+  // the A/B baseline bench/serving_qos measures against.
+  bool priority_classes = true;
   // Execution profile every batch runs under: backend, grain, pivot, and
   // the base seed anonymous requests derive from. ctx.workers is ignored
   // in favor of workers_per_run.
@@ -98,7 +138,12 @@ struct engine_options {
 struct engine_stats {
   uint64_t submitted = 0;     // requests admitted to the queue
   uint64_t completed = 0;     // responses delivered with ok()
-  uint64_t failed = 0;        // responses delivered with an error
+  uint64_t failed = 0;        // responses delivered with an error (not QoS)
+  uint64_t expired = 0;       // deadline passed while queued: dropped at pop
+                              // (or rejected at submit), zero pool leases
+  uint64_t cancelled = 0;     // deadline fired after the flush started: the
+                              // solve unwound at a phase boundary (or the
+                              // item was skipped inside its leased batch)
   uint64_t batches = 0;       // run_batch flushes (== pool leases taken)
   uint64_t batched = 0;       // requests that shared a flush with >= 1 other
   unsigned peak_inflight = 0; // high-water mark of concurrent run_scopes
@@ -111,6 +156,11 @@ struct engine_stats {
   // solve time exceed wall time).
   double exec_seconds = 0.0;
 };
+
+// Machine-readable stats (core/json.h writer): every counter above as one
+// flat object. The ppserve daemon serves this for {"stats": true} request
+// lines; benches snapshot it for perf tracking.
+std::string to_json(const engine_stats& s);
 
 class engine {
  public:
@@ -138,6 +188,15 @@ class engine {
 
   engine_stats stats() const;
   const engine_options& options() const { return opts_; }
+  // Reserve the next anonymous execution seed: derive_seed(base, k) for
+  // the k-th anonymous request engine-wide. Callers that must build a
+  // request's input from its execution seed (ppserve does: input seed ==
+  // execution seed) draw from here so concurrent sessions never collide —
+  // deriving from any per-connection index would hand request 0 of two
+  // parallel connections the same seed.
+  uint64_t reserve_anonymous_seed() {
+    return derive_seed(opts_.ctx.seed, anon_seq_.fetch_add(1, std::memory_order_relaxed));
+  }
   // The resolved per-run width (options.workers_per_run, or the even
   // machine partition when that was 0).
   unsigned workers_per_run() const { return exec_ctx_.workers; }
@@ -150,6 +209,8 @@ class engine {
     std::string solver;
     problem_input input;
     uint64_t seed = 0;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    priority prio = priority::interactive;
     std::promise<response> prom;
     std::function<void(response)> cb;  // when set, used instead of prom
   };
@@ -161,6 +222,24 @@ class engine {
   // tail when a flush throws).
   void fail_from(std::vector<pending>& batch, size_t first, const char* what);
   static void deliver(pending& p, response&& r);
+  // Resolve `p` with an "expired" error (deadline passed before any pool
+  // lease was taken) and count it.
+  void deliver_expired(pending& p);
+
+  // ---- queue helpers; all require m_ held -----------------------------------
+  // Which deque a pending lands in: its class when priority_classes, the
+  // single FIFO otherwise.
+  size_t queue_index(priority p) const {
+    return opts_.priority_classes ? static_cast<size_t>(p) : 0;
+  }
+  size_t queued_locked() const { return queues_[0].size() + queues_[1].size(); }
+  static bool is_expired(const pending& p, std::chrono::steady_clock::time_point now) {
+    return p.deadline && *p.deadline <= now;
+  }
+  // Pop the next runnable head — highest class first, FIFO within a class
+  // — moving every already-expired entry encountered into `dead`. Returns
+  // false when nothing runnable is queued.
+  bool pop_head_locked(std::vector<pending>& dead, pending& head);
 
   engine_options opts_;
   context exec_ctx_;  // opts_.ctx with workers = resolved workers_per_run
@@ -168,18 +247,22 @@ class engine {
   mutable std::mutex m_;
   std::condition_variable not_empty_;  // executors wait here
   std::condition_variable not_full_;   // blocked submitters wait here
-  std::deque<pending> queue_;
+  // [0] = batch class, [1] = interactive; everything in [0] when
+  // priority_classes is off. Capacity bounds the sum.
+  std::deque<pending> queues_[2];
   bool stopping_ = false;
-  uint64_t seq_ = 0;  // admission index, feeds derive_seed for anonymous requests
 
   std::vector<std::thread> executors_;
   std::once_flag join_once_;
 
+  std::atomic<uint64_t> anon_seq_{0};  // anonymous-seed counter (engine-wide)
   std::atomic<unsigned> inflight_{0};
   std::atomic<unsigned> peak_inflight_{0};
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_{0};
   std::atomic<uint64_t> exec_nanos_{0};

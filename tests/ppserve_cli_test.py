@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Regression tests for the ppserve daemon binary.
+
+Usage: ppserve_cli_test.py /path/to/ppserve
+
+Covers the PR-5 bugfixes end to end, against the real binary:
+  1. Negative engine flags are rejected with a usage error (exit 2)
+     instead of wrapping through atoll -> size_t into astronomically
+     large values; --max-inflight 0 is clamped to 1 explicitly.
+  2. Blank request lines do not consume a default-id slot: auto-assigned
+     response ids equal the request's position among real request lines.
+  3. Cross-connection anonymous-seed uniqueness: request 0 of two
+     concurrent TCP connections must NOT derive the same seed (the old
+     per-session line index did exactly that); the seed set is exactly
+     derive_seed(base, 0..k-1), reproducible from --seed alone.
+  4. deadline_ms / priority / stats request fields round-trip.
+"""
+import json
+import random
+import socket
+import subprocess
+import sys
+import time
+
+PPSERVE = sys.argv[1]
+MASK = (1 << 64) - 1
+
+
+def derive_seed(seed, i):
+    """SplitMix64 step over (seed, i) — must match pp::derive_seed."""
+    x = (seed + (i + 1) * 0x9E3779B97F4A7C15) & MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK
+    return x ^ (x >> 31)
+
+
+def run(args, stdin=""):
+    p = subprocess.run([PPSERVE] + args, input=stdin.encode(), capture_output=True, timeout=120)
+    return p.returncode, p.stdout.decode(), p.stderr.decode()
+
+
+def check(cond, msg):
+    if not cond:
+        print("FAIL:", msg)
+        sys.exit(1)
+    print("ok:", msg)
+
+
+# ---- 1. flag validation ------------------------------------------------------
+for flags in (["--queue", "-1"], ["--max-batch", "-3"], ["--batch-window-us", "-5"],
+              ["--max-inflight", "-2"], ["--workers-per-run", "-1"], ["--max-n", "0"],
+              ["--queue", "banana"]):
+    rc, out, err = run(flags)
+    check(rc == 2, f"{' '.join(flags)} rejected with exit 2 (got {rc}, stderr: {err.strip()!r})")
+
+rc, out, err = run(["--max-inflight", "0"], stdin="")
+check(rc == 0 and "clamped to 1" in err, f"--max-inflight 0 clamped explicitly ({err.strip()!r})")
+
+# ---- 2. blank lines don't consume default-id slots ---------------------------
+stdin = '{"solver":"lis/parallel","n":500}\n\n   \n{"solver":"lis/parallel","n":500}\n\n{"bad json\n'
+rc, out, err = run([], stdin=stdin)
+check(rc == 0, f"blank-line stream exits 0 (got {rc})")
+lines = [json.loads(l) for l in out.splitlines()]
+check(len(lines) == 3, f"3 responses for 3 real request lines (got {len(lines)})")
+check([l["id"] for l in lines] == [0, 1, 2],
+      f"auto ids are consecutive positions among real requests (got {[l['id'] for l in lines]})")
+check(lines[0]["ok"] and lines[1]["ok"] and not lines[2]["ok"], "2 results + 1 parse error")
+
+# ---- 3. cross-connection anonymous-seed uniqueness ---------------------------
+BASE_SEED = 41
+
+
+def try_tcp_session(port):
+    """Start ppserve on `port`; return (proc, [sock, sock]) or (proc, None)."""
+    proc = subprocess.Popen(
+        [PPSERVE, "--port", str(port), "--seed", str(BASE_SEED), "--workers-per-run", "1"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+    socks = []
+    for _ in range(80):  # up to ~4 s for the listener to come up
+        try:
+            s = socket.create_connection(("127.0.0.1", port), timeout=1)
+            socks.append(s)
+            break
+        except OSError:
+            if proc.poll() is not None:
+                return proc, None
+            time.sleep(0.05)
+    if not socks:
+        return proc, None
+    socks.append(socket.create_connection(("127.0.0.1", port), timeout=5))
+    return proc, socks
+
+
+proc, socks = None, None
+for attempt in range(5):
+    port = random.randint(20000, 50000)
+    proc, socks = try_tcp_session(port)
+    if socks:
+        break
+    proc.kill()
+    proc.wait()
+check(socks is not None, "TCP listener came up and accepted two connections")
+
+try:
+    # One anonymous request per connection, both in flight concurrently.
+    for s in socks:
+        s.sendall(b'{"solver":"lis/parallel","n":500}\n')
+    seeds = []
+    for s in socks:
+        f = s.makefile("r")
+        d = json.loads(f.readline())
+        check(d["ok"], f"anonymous TCP request succeeded ({d})")
+        seeds.append(d["result"]["seed"])
+        s.shutdown(socket.SHUT_WR)
+    check(seeds[0] != seeds[1],
+          f"request 0 of two concurrent connections derived DIFFERENT seeds ({seeds})")
+    want = {derive_seed(BASE_SEED, 0), derive_seed(BASE_SEED, 1)}
+    check(set(seeds) == want,
+          f"seeds are exactly derive_seed(base, 0..1) — reproducible from --seed ({seeds})")
+finally:
+    for s in socks or []:
+        s.close()
+    proc.stdin.close()  # stdin EOF ends the daemon
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+
+# ---- 4. QoS request fields ---------------------------------------------------
+stdin = (
+    '{"solver":"lis/parallel","n":500,"seed":3,"deadline_ms":60000,"priority":"interactive"}\n'
+    '{"solver":"lis/parallel","n":500,"seed":4,"priority":"batch"}\n'
+    '{"solver":"lis/parallel","n":500,"priority":"urgent"}\n'
+    '{"solver":"lis/parallel","n":500,"deadline_ms":-5}\n'
+    '{"stats":true}\n')
+rc, out, err = run(["--seed", str(BASE_SEED)], stdin=stdin)
+check(rc == 0, f"QoS stream exits 0 (got {rc})")
+lines = [json.loads(l) for l in out.splitlines()]
+check(len(lines) == 5, f"5 responses (got {len(lines)})")
+check(lines[0]["ok"] and lines[0]["result"]["status"] == "ok", "deadline'd request succeeded")
+check(lines[1]["ok"], "batch-priority request succeeded")
+check(not lines[2]["ok"] and "priority" in lines[2]["error"], "bad priority rejected")
+check(not lines[3]["ok"] and "deadline_ms" in lines[3]["error"], "bad deadline_ms rejected")
+stats = lines[4]
+check(stats["ok"] and all(k in stats["stats"] for k in
+                          ("submitted", "completed", "failed", "expired", "cancelled",
+                           "batches")),
+      f"stats request reports QoS counters ({stats})")
+# The snapshot is taken at parse time, after both well-formed requests were
+# admitted (the reader feeds lines in order) but possibly before they ran.
+check(stats["stats"]["submitted"] == 2, f"two admitted before the stats snapshot ({stats})")
+
+print("ALL PASS")

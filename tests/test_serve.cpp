@@ -9,6 +9,8 @@
 #include <chrono>
 #include <future>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -302,6 +304,355 @@ TEST(Serve, BoundedQueueBackpressureCompletesEverything) {
   for (auto& f : futs) EXPECT_TRUE(f.get().ok());
   eng.stop();
   EXPECT_EQ(eng.stats().completed, 10u);
+}
+
+// ---- QoS: deadlines, priority classes, cancellation -------------------------
+
+TEST(Serve, ExpiredBeforePopTakesNoLease) {
+  // A request whose deadline passes while queued resolves with an error
+  // at pop time, without a pool lease (pool_cache::acquires unchanged).
+  engine_options opt;
+  opt.max_inflight_runs = 1;  // one executor we can keep busy
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_seed(3);
+  engine eng(opt);
+
+  // Inputs built before the lease baseline (the factory leases a pool).
+  auto big = registry::instance().make_input("lis", 8'000, 9);
+  auto small = registry::instance().make_input("lis", 300, 9);
+  auto& cache = pp::detail::pool_cache::instance();
+  uint64_t leases_before = cache.acquires();
+
+  // Occupy the executor, then queue a request that expires long before
+  // the executor frees up.
+  auto blocker = eng.submit({"lis/parallel", big, 1});
+  std::this_thread::sleep_for(20ms);  // let the executor pop the blocker
+  request doomed;
+  doomed.solver = "lis/parallel";
+  doomed.input = small;
+  doomed.seed = 2;
+  doomed.deadline = std::chrono::steady_clock::now() + 1ms;
+  auto fut = eng.submit(std::move(doomed));
+
+  response r = fut.get();
+  EXPECT_TRUE(blocker.get().ok());
+  auto st = eng.stats();
+  eng.stop();
+
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("expired"), std::string::npos) << r.error;
+  EXPECT_EQ(st.expired, 1u);
+  EXPECT_EQ(st.cancelled, 0u);
+  EXPECT_EQ(st.batches, 1u) << "only the blocker may flush";
+  EXPECT_EQ(cache.acquires() - leases_before, st.batches)
+      << "the expired request must not cost a pool lease";
+}
+
+TEST(Serve, ExpiredBatchEntryResolvedDespiteInteractiveTraffic) {
+  // Every pop sweeps BOTH class deques for expired entries: an expired
+  // batch-class request must resolve even when interactive traffic keeps
+  // the interactive deque non-empty (it must not hang its future or pin
+  // queue capacity forever).
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_seed(3);
+  engine eng(opt);
+
+  auto big = registry::instance().make_input("lis", 8'000, 9);
+  auto small = registry::instance().make_input("lis", 200, 9);
+  auto blocker = eng.submit({"lis/parallel", big, 1});
+  std::this_thread::sleep_for(20ms);  // executor busy with the blocker
+
+  request doomed;
+  doomed.solver = "lis/parallel";
+  doomed.input = small;
+  doomed.seed = 2;
+  doomed.prio = pp::serve::priority::batch;
+  doomed.deadline = std::chrono::steady_clock::now() + 1ms;
+  auto dead_fut = eng.submit(std::move(doomed));
+  std::this_thread::sleep_for(10ms);  // deadline blown while queued
+  // Interactive requests queued behind the blocker: the next pops choose
+  // the interactive class, and must still drop the expired batch entry.
+  request probe;
+  probe.solver = "lis/parallel";
+  probe.input = small;
+  probe.seed = 3;
+  probe.prio = pp::serve::priority::interactive;
+  auto probe_fut = eng.submit(std::move(probe));
+
+  EXPECT_TRUE(probe_fut.get().ok());
+  ASSERT_EQ(dead_fut.wait_for(1s), std::future_status::ready)
+      << "expired batch request stranded while interactive traffic flowed";
+  response r = dead_fut.get();
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("expired"), std::string::npos) << r.error;
+  EXPECT_TRUE(blocker.get().ok());
+  auto st = eng.stats();
+  eng.stop();
+  EXPECT_EQ(st.expired, 1u);
+}
+
+TEST(Serve, AlreadyExpiredDeadlineRejectedAtSubmit) {
+  engine eng({.max_inflight_runs = 1, .workers_per_run = 1, .ctx = native2().with_workers(1)});
+  request req;
+  req.solver = "lis/parallel";
+  req.input = registry::instance().make_input("lis", 300, 1);
+  req.deadline = std::chrono::steady_clock::now() - 1ms;
+  auto fut = eng.submit(std::move(req));
+  ASSERT_EQ(fut.wait_for(1s), std::future_status::ready);
+  response r = fut.get();
+  auto st = eng.stats();
+  eng.stop();
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("expired"), std::string::npos) << r.error;
+  EXPECT_EQ(st.expired, 1u);
+  EXPECT_EQ(st.submitted, 0u) << "never entered the queue";
+}
+
+TEST(Serve, InteractiveClassPopsBeforeBatchClass) {
+  // With the lone executor busy, queue batch-class requests first, then
+  // interactive ones: every interactive request must complete before any
+  // batch request (higher class pops first), and classes stay FIFO.
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.queue_capacity = 64;
+  opt.ctx = native2().with_seed(7);
+  engine eng(opt);
+
+  auto big = registry::instance().make_input("lis", 8'000, 9);
+  auto small = registry::instance().make_input("lis", 200, 9);
+  auto blocker = eng.submit({"lis/parallel", big, 1});
+  std::this_thread::sleep_for(20ms);  // executor now busy with the blocker
+
+  std::mutex order_m;
+  std::vector<std::string> order;
+  auto tag = [&](std::string label) {
+    return [&, label = std::move(label)](response r) {
+      EXPECT_TRUE(r.ok()) << label << ": " << r.error;
+      std::lock_guard<std::mutex> lk(order_m);
+      order.push_back(label);
+    };
+  };
+  for (int i = 0; i < 3; ++i) {
+    request req;
+    req.solver = "lis/parallel";
+    req.input = small;
+    req.seed = 10 + i;
+    req.prio = pp::serve::priority::batch;
+    eng.submit(std::move(req), tag("b" + std::to_string(i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    request req;
+    req.solver = "lis/parallel";
+    req.input = small;
+    req.seed = 20 + i;
+    req.prio = pp::serve::priority::interactive;
+    eng.submit(std::move(req), tag("i" + std::to_string(i)));
+  }
+  EXPECT_TRUE(blocker.get().ok());
+  eng.stop(/*drain=*/true);
+
+  ASSERT_EQ(order.size(), 6u);
+  std::vector<std::string> want = {"i0", "i1", "i2", "b0", "b1", "b2"};
+  EXPECT_EQ(order, want) << "interactive first, FIFO within each class";
+}
+
+TEST(Serve, CoalescingNeverCrossesClasses) {
+  // Same solver, same window — but a batch-class request must not ride an
+  // interactive flush's lease: expect separate flushes per class.
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = 100ms;
+  opt.max_batch = 8;
+  opt.queue_capacity = 64;
+  opt.ctx = native2().with_seed(5);
+  engine eng(opt);
+
+  auto big = registry::instance().make_input("lis", 8'000, 9);
+  auto small = registry::instance().make_input("lis", 300, 9);
+  auto blocker = eng.submit({"lis/parallel", big, 1});
+  // Outwait the blocker's own batch window (100ms): its flush must be
+  // closed and running before the probe requests arrive, or they would
+  // legitimately coalesce into it (same solver, same class).
+  std::this_thread::sleep_for(150ms);
+
+  std::vector<std::future<response>> futs;
+  for (int i = 0; i < 2; ++i) {
+    request req;
+    req.solver = "lis/parallel";
+    req.input = small;
+    req.seed = 10 + i;
+    req.prio = pp::serve::priority::interactive;
+    futs.push_back(eng.submit(std::move(req)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    request req;
+    req.solver = "lis/parallel";
+    req.input = small;
+    req.seed = 20 + i;
+    req.prio = pp::serve::priority::batch;
+    futs.push_back(eng.submit(std::move(req)));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  auto st = eng.stats();
+  eng.stop();
+
+  EXPECT_EQ(st.batches, 3u) << "blocker + one interactive flush + one batch flush";
+  EXPECT_EQ(st.batched, 4u) << "both coalesced flushes had 2 requests each";
+}
+
+TEST(Serve, MidRunDeadlineCancelsFasterThanFullSolve) {
+  // Acceptance: a deadline that expires mid-run resolves its request with
+  // `cancelled` in (much) less than the solver's full solve time.
+  auto in = registry::instance().make_input("lis", 8'000, 11);
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_seed(5);
+  engine eng(opt);
+
+  // Reference full solve under the engine's execution profile.
+  auto full = registry::run("lis/parallel", in, eng.execution_context().with_seed(1));
+  ASSERT_GT(full.seconds, 0.05) << "input too small to observe a mid-run cancel";
+
+  request req;
+  req.solver = "lis/parallel";
+  req.input = in;
+  req.seed = 1;
+  req.deadline = std::chrono::steady_clock::now() + 20ms;
+  auto t0 = std::chrono::steady_clock::now();
+  auto fut = eng.submit(std::move(req));
+  response r = fut.get();
+  double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  auto st = eng.stats();
+  eng.stop();
+
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("cancelled"), std::string::npos) << r.error;
+  EXPECT_EQ(r.result.status, pp::run_status::cancelled);
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.expired, 0u);
+  EXPECT_LT(elapsed, 0.5 * full.seconds)
+      << "cancelled request took " << elapsed << "s vs full solve " << full.seconds << "s";
+}
+
+TEST(Serve, BlownDeadlineFailsOnlyExpiredBatchmates) {
+  // Two requests coalesce into one flush; the first carries a deadline
+  // that blows mid-run. It must come back `cancelled` while its unexpired
+  // batchmate completes with the exact standalone result.
+  auto in = registry::instance().make_input("lis", 8'000, 13);
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = 200ms;  // hold the flush until both requests arrive
+  opt.max_batch = 2;
+  opt.ctx = native2().with_seed(5);
+  engine eng(opt);
+
+  request doomed;
+  doomed.solver = "lis/parallel";
+  doomed.input = in;
+  doomed.seed = 1;
+  doomed.deadline = std::chrono::steady_clock::now() + 30ms;
+  auto f0 = eng.submit(std::move(doomed));
+  auto f1 = eng.submit({"lis/parallel", in, 2});  // no deadline
+
+  response r0 = f0.get();
+  response r1 = f1.get();
+  auto st = eng.stats();
+  eng.stop();
+
+  EXPECT_EQ(st.batches, 1u) << "both requests must share one flush";
+  EXPECT_FALSE(r0.ok());
+  EXPECT_NE(r0.error.find("cancelled"), std::string::npos) << r0.error;
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  auto solo = registry::run("lis/parallel", in, eng.execution_context().with_seed(2));
+  EXPECT_EQ(pp::score_of(r1.result.value), pp::score_of(solo.value));
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.completed, 1u);
+}
+
+TEST(Serve, PriorityClassesOffIsPlainFifo) {
+  // The bench baseline: with priority_classes off, an interactive request
+  // queued after batch requests waits its FIFO turn.
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.priority_classes = false;
+  opt.ctx = native2().with_seed(7);
+  engine eng(opt);
+
+  auto big = registry::instance().make_input("lis", 8'000, 9);
+  auto small = registry::instance().make_input("lis", 200, 9);
+  auto blocker = eng.submit({"lis/parallel", big, 1});
+  std::this_thread::sleep_for(20ms);
+
+  std::mutex order_m;
+  std::vector<std::string> order;
+  auto tag = [&](std::string label) {
+    return [&, label = std::move(label)](response r) {
+      EXPECT_TRUE(r.ok()) << label << ": " << r.error;
+      std::lock_guard<std::mutex> lk(order_m);
+      order.push_back(label);
+    };
+  };
+  request b;
+  b.solver = "lis/parallel";
+  b.input = small;
+  b.seed = 10;
+  b.prio = pp::serve::priority::batch;
+  eng.submit(std::move(b), tag("b"));
+  request i;
+  i.solver = "lis/parallel";
+  i.input = small;
+  i.seed = 11;
+  i.prio = pp::serve::priority::interactive;
+  eng.submit(std::move(i), tag("i"));
+  EXPECT_TRUE(blocker.get().ok());
+  eng.stop(/*drain=*/true);
+
+  std::vector<std::string> want = {"b", "i"};
+  EXPECT_EQ(order, want) << "classes off: strict FIFO";
+}
+
+TEST(Serve, AnonymousSeedsUniqueAcrossThreads) {
+  // The regression behind ppserve's cross-connection collision: anonymous
+  // seeds come from one engine-wide counter, so concurrent sessions can
+  // never hand out the same derived seed.
+  engine eng({.max_inflight_runs = 1, .workers_per_run = 1, .ctx = native2().with_workers(1)});
+  constexpr size_t kThreads = 4, kPer = 64;
+  std::vector<std::vector<uint64_t>> got(kThreads);
+  std::vector<std::thread> ts;
+  for (size_t t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (size_t i = 0; i < kPer; ++i) got[t].push_back(eng.reserve_anonymous_seed());
+    });
+  }
+  for (auto& t : ts) t.join();
+  eng.stop();
+  std::set<uint64_t> uniq;
+  for (auto& v : got)
+    for (uint64_t s : v) uniq.insert(s);
+  EXPECT_EQ(uniq.size(), kThreads * kPer) << "anonymous seeds collided across sessions";
+  // And they are exactly the derive_seed(base, 0..N-1) set — reproducible
+  // from the base seed alone.
+  std::set<uint64_t> want;
+  for (size_t k = 0; k < kThreads * kPer; ++k)
+    want.insert(pp::derive_seed(eng.options().ctx.seed, k));
+  EXPECT_EQ(uniq, want);
 }
 
 TEST(Serve, NoScopeRaceConflicts) {

@@ -10,17 +10,30 @@
 //   {"id": 0, "ok": true, "result": {"solver": "lis/parallel", ...}}
 //
 // request fields:
-//   solver  (required) registry name, e.g. "lis/parallel"
-//   n       input size for the problem's default factory (default 20000,
-//           must be in [1, --max-n] — the cap keeps one greedy request
-//           line from OOMing the daemon)
-//   seed    execution + input seed; omitted = derive_seed(base, index) —
-//           the run_batch per-item rule, so an anonymous request stream is
-//           reproducible from the daemon's --seed alone
-//   id      echoed back verbatim (default: the line index)
+//   solver       (required unless "stats") registry name, e.g. "lis/parallel"
+//   n            input size for the problem's default factory (default
+//                20000, must be in [1, --max-n] — the cap keeps one greedy
+//                request line from OOMing the daemon)
+//   seed         execution + input seed; omitted = derive_seed(base, k) for
+//                the k-th anonymous request DAEMON-wide (the engine's
+//                admission counter, shared by every connection) — so an
+//                anonymous stream is reproducible from --seed alone and two
+//                concurrent connections can never collide on a seed
+//   id           echoed back verbatim (default: the request's position
+//                among this connection's non-blank lines)
+//   deadline_ms  positive integer; the request expires this many ms after
+//                it is parsed. Expired-while-queued requests resolve with
+//                an "expired" error without taking a pool lease; a
+//                deadline blown mid-run cancels the solve at the next
+//                phase boundary ("cancelled" error)
+//   priority     "interactive" (default) or "batch": interactive requests
+//                pop first and batch requests never share their flushes
+//   stats        true: respond with the engine_stats counters (submitted /
+//                completed / failed / expired / cancelled / batches / ...)
+//                instead of running a solver
 //
 // response fields: id, ok, and either "result" (the run_result envelope
-// pp::to_json emits) or "error".
+// pp::to_json emits), "stats" (for stats requests), or "error".
 //
 // Modes:
 //   default       serve stdin, write stdout, exit at EOF
@@ -37,9 +50,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -105,6 +120,41 @@ void render(const pp::json::value& v, pp::json::writer& w) {
   }
 }
 
+// Parse a decimal integer in [min_v, max_v]; usage error (exit 2) on junk,
+// overflow, or out-of-range values. The engine knobs are size_t/unsigned —
+// a negative value passed through a blind `atoll` → unsigned cast wraps to
+// an astronomically large count (an effectively unbounded queue defeats
+// backpressure entirely), so bad values are rejected up front instead of
+// silently wrapping.
+long long parse_int(const char* argv0, const char* flag, const char* text, long long min_v,
+                    long long max_v) {
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < min_v || v > max_v) {
+    std::fprintf(stderr, "%s: %s expects an integer in [%lld, %lld], got '%s'\n", argv0, flag,
+                 min_v, max_v, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+// Full-range uint64 parse with the same junk rejection (for --seed).
+uint64_t parse_u64(const char* argv0, const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  if (*text == '-') {
+    std::fprintf(stderr, "%s: %s expects a non-negative integer, got '%s'\n", argv0, flag, text);
+    std::exit(2);
+  }
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: %s expects a non-negative integer, got '%s'\n", argv0, flag, text);
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(v);
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--max-inflight R] [--workers-per-run W]\n"
@@ -128,13 +178,16 @@ struct session {
   // immediately-queued error entry; well-formed requests queue a future
   // and respond when their batch completes.
   void feed_line(const std::string& line) {
-    ++index_;
     if (line.find_first_not_of(" \t\r") == std::string::npos) return;  // blank: ignore
+    // Count only real requests: a blank line must not consume a default-id
+    // slot, or auto-assigned ids stop matching the request's position
+    // among this connection's actual requests.
+    uint64_t index = index_++;
     pp::json::value doc;
     std::string err;
-    // `id` is kept as raw JSON text: the line index (a JSON number) by
+    // `id` is kept as raw JSON text: the request index (a JSON number) by
     // default, or the request's own "id" member re-serialized.
-    std::string id = std::to_string(index_ - 1);
+    std::string id = std::to_string(index);
     if (!pp::json::parse(line, doc, &err)) {
       enqueue_error(id, "bad request JSON: " + err);
       return;
@@ -145,6 +198,14 @@ struct session {
       pp::json::writer w;
       render(*v, w);
       id = w.str();
+    }
+    if (const pp::json::value* v = doc.find("stats")) {
+      if (!v->is_bool() || !v->as_bool()) {
+        enqueue_error(id, "request \"stats\" must be true");
+        return;
+      }
+      enqueue_stats(id);
+      return;
     }
     const pp::json::value* solver = doc.find("solver");
     if (solver == nullptr || !solver->is_string()) {
@@ -182,17 +243,40 @@ struct session {
       }
       req.seed = v->as_uint64();
     }
+    if (const pp::json::value* v = doc.find("deadline_ms")) {
+      // Capped at 24h: an absurdly large value would overflow the
+      // ms -> clock-duration (ns) conversion below into a time_point in
+      // the past — the same silent-wrap class the flag validation rejects.
+      constexpr int64_t kMaxDeadlineMs = 86'400'000;
+      if (!v->is_number() || !integral(*v) || v->as_int64() < 1 ||
+          v->as_int64() > kMaxDeadlineMs) {
+        enqueue_error(id, "request \"deadline_ms\" must be an integer in [1, " +
+                              std::to_string(kMaxDeadlineMs) + "]");
+        return;
+      }
+      req.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(v->as_int64());
+    }
+    if (const pp::json::value* v = doc.find("priority")) {
+      auto p = v->is_string() ? pp::serve::parse_priority(v->as_string()) : std::nullopt;
+      if (!p) {
+        enqueue_error(id, "request \"priority\" must be \"interactive\" or \"batch\"");
+        return;
+      }
+      req.prio = *p;
+    }
 
     // Build the input outside the engine (factory cost is the client's,
     // solve cost is the server's). Input seed = execution seed, the same
-    // rule ppdriver batch uses.
+    // rule ppdriver batch uses. Anonymous seeds come from the engine's
+    // daemon-wide counter — never from this session's line index, which
+    // would collide across concurrent connections.
     const pp::solver_info* si = pp::registry::instance().info(req.solver);
     if (si == nullptr) {
       enqueue_error(id, "unknown solver '" + req.solver + "'");
       return;
     }
-    uint64_t seed =
-        req.seed ? *req.seed : pp::derive_seed(eng_.options().ctx.seed, index_ - 1);
+    uint64_t seed = req.seed ? *req.seed : eng_.reserve_anonymous_seed();
     req.seed = seed;
     try {
       req.input = pp::registry::instance().make_input(si->problem, static_cast<size_t>(n), seed);
@@ -225,6 +309,9 @@ struct session {
           w.key("result").value_raw(pp::to_json(r.result));
         else
           w.member("error", r.error);
+      } else if (!e.stats.empty()) {
+        w.member("ok", true);
+        w.key("stats").value_raw(e.stats);
       } else {
         w.member("ok", false);
         w.member("error", e.err);
@@ -246,7 +333,8 @@ struct session {
  private:
   struct entry {
     std::string id;                        // raw JSON text (number or string)
-    std::future<pp::serve::response> fut;  // invalid => `err` below
+    std::future<pp::serve::response> fut;  // invalid => `stats` or `err` below
+    std::string stats;                     // raw JSON: engine_stats snapshot
     std::string err;
   };
 
@@ -262,6 +350,15 @@ struct session {
     entry e;
     e.id = std::move(id);
     e.err = std::move(err);
+    push(std::move(e));
+  }
+
+  // Point-in-time engine_stats snapshot (taken at parse time; printed in
+  // request order like everything else).
+  void enqueue_stats(std::string id) {
+    entry e;
+    e.id = std::move(id);
+    e.stats = pp::serve::to_json(eng_.stats());
     push(std::move(e));
   }
 
@@ -368,26 +465,38 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(argv[i], "--port") == 0) {
-      opt.port = std::atoi(need("--port"));
-      if (opt.port < 1 || opt.port > 65535) {
-        std::fprintf(stderr, "%s: --port must be in [1, 65535]\n", argv[0]);
-        return 2;
-      }
+      opt.port = static_cast<int>(parse_int(argv[0], "--port", need("--port"), 1, 65535));
     } else if (std::strcmp(argv[i], "--max-inflight") == 0) {
-      opt.eng.max_inflight_runs = static_cast<unsigned>(std::atoi(need("--max-inflight")));
+      // 0 is clamped to one executor HERE, visibly, instead of relying on
+      // the engine constructor's silent fixup.
+      long long v = parse_int(argv[0], "--max-inflight", need("--max-inflight"), 0,
+                              std::numeric_limits<unsigned>::max());
+      if (v == 0) {
+        std::fprintf(stderr, "%s: --max-inflight 0 clamped to 1 (at least one executor)\n",
+                     argv[0]);
+        v = 1;
+      }
+      opt.eng.max_inflight_runs = static_cast<unsigned>(v);
     } else if (std::strcmp(argv[i], "--workers-per-run") == 0) {
-      opt.eng.workers_per_run = static_cast<unsigned>(std::atoi(need("--workers-per-run")));
+      // 0 keeps the engine's "partition the machine evenly" default.
+      opt.eng.workers_per_run = static_cast<unsigned>(
+          parse_int(argv[0], "--workers-per-run", need("--workers-per-run"), 0,
+                    std::numeric_limits<unsigned>::max()));
     } else if (std::strcmp(argv[i], "--batch-window-us") == 0) {
-      opt.eng.batch_window = std::chrono::microseconds(std::atoll(need("--batch-window-us")));
+      // 0 = flush immediately (valid); negative windows are nonsense.
+      opt.eng.batch_window = std::chrono::microseconds(parse_int(
+          argv[0], "--batch-window-us", need("--batch-window-us"), 0, 60'000'000));
     } else if (std::strcmp(argv[i], "--max-batch") == 0) {
-      opt.eng.max_batch = static_cast<size_t>(std::atoll(need("--max-batch")));
+      opt.eng.max_batch = static_cast<size_t>(
+          parse_int(argv[0], "--max-batch", need("--max-batch"), 1, 1'000'000));
     } else if (std::strcmp(argv[i], "--queue") == 0) {
-      opt.eng.queue_capacity = static_cast<size_t>(std::atoll(need("--queue")));
+      opt.eng.queue_capacity = static_cast<size_t>(
+          parse_int(argv[0], "--queue", need("--queue"), 1, 100'000'000));
     } else if (std::strcmp(argv[i], "--max-n") == 0) {
-      opt.max_n = static_cast<size_t>(std::strtoull(need("--max-n"), nullptr, 10));
-      if (opt.max_n < 1) opt.max_n = 1;
+      opt.max_n = static_cast<size_t>(parse_int(argv[0], "--max-n", need("--max-n"), 1,
+                                                std::numeric_limits<long long>::max()));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      opt.eng.ctx.seed = std::strtoull(need("--seed"), nullptr, 10);
+      opt.eng.ctx.seed = parse_u64(argv[0], "--seed", need("--seed"));
     } else if (std::strcmp(argv[i], "--backend") == 0) {
       const char* b = need("--backend");
       auto kind = pp::parse_backend(b);
