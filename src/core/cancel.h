@@ -35,6 +35,12 @@
 // the context's token on the run's own thread only, round boundaries are
 // outside every parallel region, and nested scopes shadow (a token-free
 // nested run is never cancelled by an enclosing token).
+//
+// This contract is enforced mechanically: tools/pplint.py (ctest
+// `test_pplint` + a CI job) rejects any `cancel_point()` that appears
+// lexically inside a parallel_for/par_do call's argument list, so the
+// three failure modes above cannot be reintroduced by a refactor that
+// TSan happens not to catch.
 #pragma once
 
 #include <atomic>

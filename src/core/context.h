@@ -35,6 +35,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/cancel.h"
 #include "parallel/backend.h"
 
@@ -141,34 +142,40 @@ namespace detail {
 // internal spin bit ThreadSanitizer cannot model, which made every
 // concurrent serving run (src/serve/) a TSan false positive; the rwlock
 // costs the same order of magnitude per read and is fully TSan-visible.
-inline std::shared_mutex& slot_mutex() {
-  static std::shared_mutex m;
-  return m;
-}
-inline std::shared_ptr<const context>& slot_ref() {
-  static std::shared_ptr<const context> p;
-  return p;
+// The guard relationship is annotated (core/annotations.h), so clang's
+// -Wthread-safety proves every slot access takes the rwlock.
+struct context_slot {
+  sync::shared_mutex m;
+  std::shared_ptr<const context> p PP_GUARDED_BY(m);
+};
+inline context_slot& slot() {
+  static context_slot s;
+  return s;
 }
 inline std::shared_ptr<const context> slot_load() {
-  std::shared_lock<std::shared_mutex> lk(slot_mutex());
-  return slot_ref();
+  context_slot& s = slot();
+  sync::shared_lock<sync::shared_mutex> lk(s.m);
+  return s.p;
 }
 inline std::shared_ptr<const context> slot_exchange(std::shared_ptr<const context> p) {
-  std::unique_lock<std::shared_mutex> lk(slot_mutex());
-  std::swap(slot_ref(), p);
+  context_slot& s = slot();
+  sync::lock_guard<sync::shared_mutex> lk(s.m);
+  std::swap(s.p, p);
   return p;
 }
 inline void slot_store(std::shared_ptr<const context> p) {
-  std::unique_lock<std::shared_mutex> lk(slot_mutex());
-  slot_ref() = std::move(p);
+  context_slot& s = slot();
+  sync::lock_guard<sync::shared_mutex> lk(s.m);
+  s.p = std::move(p);
 }
 // Store `desired` iff the slot still holds `expected`; returns whether it
 // did. (The compare-exchange of the restore path.)
 inline bool slot_compare_store(const std::shared_ptr<const context>& expected,
                                std::shared_ptr<const context> desired) {
-  std::unique_lock<std::shared_mutex> lk(slot_mutex());
-  if (slot_ref() != expected) return false;
-  slot_ref() = std::move(desired);
+  context_slot& s = slot();
+  sync::lock_guard<sync::shared_mutex> lk(s.m);
+  if (s.p != expected) return false;
+  s.p = std::move(desired);
   return true;
 }
 
@@ -199,12 +206,13 @@ bool on_scheduler_worker_thread();
 inline thread_local int tl_scope_depth = 0;
 
 struct scope_registry {
-  std::mutex m;
-  std::vector<const context*> live;  // live top-level scopes' configs
+  sync::mutex m;
+  // live top-level scopes' configs
+  std::vector<const context*> live PP_GUARDED_BY(m);
   // Slot value from before the first scope of the current overlap episode
   // registered — what the slot must return to once every scope has exited,
   // regardless of exit order.
-  std::shared_ptr<const context> episode_base;
+  std::shared_ptr<const context> episode_base PP_GUARDED_BY(m);
   std::atomic<uint64_t> conflicts{0};
   // Debug-build kill switch. Tests that provoke a conflict on purpose (to
   // check the detector itself) clear it around the race.
@@ -256,7 +264,7 @@ class scoped_context {
     top_level_ = detail::tl_scope_depth++ == 0 && !detail::on_scheduler_worker_thread() &&
                  omp_in_parallel() == 0;
     detail::scope_registry& r = detail::scopes();
-    std::lock_guard<std::mutex> lk(r.m);
+    sync::lock_guard<sync::mutex> lk(r.m);
     saved_ = detail::slot_exchange(installed_);
     if (!top_level_) return;
     if (r.live.empty()) r.episode_base = saved_;
@@ -281,7 +289,7 @@ class scoped_context {
   }
   ~scoped_context() {
     detail::scope_registry& r = detail::scopes();
-    std::lock_guard<std::mutex> lk(r.m);
+    sync::lock_guard<sync::mutex> lk(r.m);
     --detail::tl_scope_depth;
     if (top_level_) {
       for (size_t i = r.live.size(); i-- > 0;) {

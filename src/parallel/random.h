@@ -24,9 +24,12 @@ inline uint64_t hash64(uint64_t x) {
 }
 
 // A stateless random stream: draw i-th value of stream `seed` in O(1).
+// The seed is required on purpose (pplint rejects defaulted seeds): a
+// silent seed-0 stream is exactly the kind of hidden global that breaks
+// run-to-run reproducibility audits.
 class random_stream {
  public:
-  explicit random_stream(uint64_t seed = 0) : seed_(seed) {}
+  explicit random_stream(uint64_t seed) : seed_(seed) {}
 
   uint64_t ith(uint64_t i) const { return hash64(seed_ ^ hash64(i + 1)); }
 

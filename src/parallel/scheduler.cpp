@@ -49,7 +49,7 @@ work_stealing_pool::~work_stealing_pool() {
   {
     // Store under the sleep mutex so a worker between its parking
     // predicate check and the block cannot miss the shutdown notify.
-    std::lock_guard<std::mutex> lk(sleep_m_);
+    sync::lock_guard<sync::mutex> lk(sleep_m_);
     shutdown_.store(true, std::memory_order_release);
   }
   sleep_cv_.notify_all();
@@ -63,7 +63,7 @@ void work_stealing_pool::attach() {
   {
     // The lock orders the flag flip against the workers' predicate check,
     // so a worker that just decided to park cannot miss the wake-up.
-    std::lock_guard<std::mutex> lk(sleep_m_);
+    sync::lock_guard<sync::mutex> lk(sleep_m_);
     active_.store(true, std::memory_order_release);
   }
   sleep_cv_.notify_all();
@@ -84,8 +84,9 @@ void work_stealing_pool::push(job* j) {
   // first push) park their jobs on slot 0; worker 0 or a thief runs them.
   unsigned slot = id < 0 ? 0 : static_cast<unsigned>(id);
   {
-    std::lock_guard<std::mutex> lk(deques_[slot]->m);
-    deques_[slot]->q.push_back(j);
+    deque_slot& s = *deques_[slot];
+    sync::lock_guard<sync::mutex> lk(s.m);
+    s.q.push_back(j);
   }
   jobs_available_.fetch_add(1, std::memory_order_release);
   sleep_cv_.notify_one();
@@ -94,21 +95,21 @@ void work_stealing_pool::push(job* j) {
 bool work_stealing_pool::try_pop_specific(job* j) {
   int id = worker_id();
   unsigned slot = id < 0 ? 0 : static_cast<unsigned>(id);
-  std::lock_guard<std::mutex> lk(deques_[slot]->m);
-  auto& q = deques_[slot]->q;
-  if (!q.empty() && q.back() == j) {
-    q.pop_back();
+  deque_slot& s = *deques_[slot];
+  sync::lock_guard<sync::mutex> lk(s.m);
+  if (!s.q.empty() && s.q.back() == j) {
+    s.q.pop_back();
     return true;
   }
   return false;
 }
 
 job* work_stealing_pool::try_pop_local(unsigned id) {
-  std::lock_guard<std::mutex> lk(deques_[id]->m);
-  auto& q = deques_[id]->q;
-  if (q.empty()) return nullptr;
-  job* j = q.back();
-  q.pop_back();
+  deque_slot& s = *deques_[id];
+  sync::lock_guard<sync::mutex> lk(s.m);
+  if (s.q.empty()) return nullptr;
+  job* j = s.q.back();
+  s.q.pop_back();
   return j;
 }
 
@@ -122,13 +123,15 @@ job* work_stealing_pool::try_steal(unsigned thief_id) {
     rng = rng * 6364136223846793005ull + 1442695040888963407ull;
     unsigned victim = static_cast<unsigned>((rng >> 33) % n);
     if (victim == thief_id) continue;
-    std::unique_lock<std::mutex> lk(deques_[victim]->m, std::try_to_lock);
-    if (!lk.owns_lock()) continue;
-    auto& q = deques_[victim]->q;
-    if (q.empty()) continue;
-    job* j = q.front();  // steal oldest = shallowest = biggest subtree
-    q.pop_front();
-    return j;
+    deque_slot& s = *deques_[victim];
+    if (!s.m.try_lock()) continue;
+    job* j = nullptr;
+    if (!s.q.empty()) {
+      j = s.q.front();  // steal oldest = shallowest = biggest subtree
+      s.q.pop_front();
+    }
+    s.m.unlock();
+    if (j != nullptr) return j;
   }
   return nullptr;
 }
@@ -170,7 +173,7 @@ void work_stealing_pool::worker_loop(unsigned id) {
       std::this_thread::yield();
     } else {
       uint64_t seen = jobs_available_.load(std::memory_order_acquire);
-      std::unique_lock<std::mutex> lk(sleep_m_);
+      sync::unique_lock<sync::mutex> lk(sleep_m_);
       if (!active_.load(std::memory_order_acquire)) {
         // The pool is idle in the cache (no lease holder): park until the
         // next attach instead of polling. A leased-but-quiet pool keeps
@@ -199,7 +202,7 @@ work_stealing_pool* pool_cache::acquire(unsigned width) {
   if (width < 1) width = 1;
   acquires_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(m_);
+    sync::lock_guard<sync::mutex> lk(m_);
     // Most-recently-released match first (back of the LRU), so hot widths
     // stay warm and cold ones age toward eviction.
     for (size_t i = idle_lru_.size(); i-- > 0;) {
@@ -217,7 +220,7 @@ work_stealing_pool* pool_cache::acquire(unsigned width) {
   // only counted once construction succeeded.
   auto fresh = std::make_unique<work_stealing_pool>(width);
   work_stealing_pool* p = fresh.get();
-  std::lock_guard<std::mutex> lk(m_);
+  sync::lock_guard<sync::mutex> lk(m_);
   ++created_;
   all_.push_back(std::move(fresh));
   return p;
@@ -226,7 +229,7 @@ work_stealing_pool* pool_cache::acquire(unsigned width) {
 void pool_cache::release(work_stealing_pool* pool) {
   std::vector<std::unique_ptr<work_stealing_pool>> evicted;
   {
-    std::lock_guard<std::mutex> lk(m_);
+    sync::lock_guard<sync::mutex> lk(m_);
     idle_lru_.push_back(pool);
     evicted = evict_locked(idle_cap_);
   }
@@ -252,34 +255,34 @@ std::vector<std::unique_ptr<work_stealing_pool>> pool_cache::evict_locked(size_t
 }
 
 size_t pool_cache::pools_created() const {
-  std::lock_guard<std::mutex> lk(m_);
+  sync::lock_guard<sync::mutex> lk(m_);
   return created_;
 }
 
 size_t pool_cache::pools_idle() const {
-  std::lock_guard<std::mutex> lk(m_);
+  sync::lock_guard<sync::mutex> lk(m_);
   return idle_lru_.size();
 }
 
 size_t pool_cache::size() const {
-  std::lock_guard<std::mutex> lk(m_);
+  sync::lock_guard<sync::mutex> lk(m_);
   return all_.size();
 }
 
 size_t pool_cache::in_use() const {
-  std::lock_guard<std::mutex> lk(m_);
+  sync::lock_guard<sync::mutex> lk(m_);
   return all_.size() - idle_lru_.size();
 }
 
 size_t pool_cache::idle_cap() const {
-  std::lock_guard<std::mutex> lk(m_);
+  sync::lock_guard<sync::mutex> lk(m_);
   return idle_cap_;
 }
 
 void pool_cache::set_idle_cap(size_t cap) {
   std::vector<std::unique_ptr<work_stealing_pool>> evicted;
   {
-    std::lock_guard<std::mutex> lk(m_);
+    sync::lock_guard<sync::mutex> lk(m_);
     idle_cap_ = cap;
     evicted = evict_locked(idle_cap_);
   }

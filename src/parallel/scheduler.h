@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/annotations.h"
+
 namespace pp::detail {
 
 // Type-erased unit of work. Fork-join jobs live on the forking thread's
@@ -100,8 +102,8 @@ class work_stealing_pool {
 
  private:
   struct deque_slot {
-    std::mutex m;
-    std::deque<job*> q;
+    sync::mutex m;
+    std::deque<job*> q PP_GUARDED_BY(m);
   };
 
   void worker_loop(unsigned id);
@@ -113,8 +115,11 @@ class work_stealing_pool {
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> active_{false};          // a lease holder is attached
   std::atomic<uint64_t> jobs_available_{0};  // wake hint for sleeping workers
-  std::mutex sleep_m_;
-  std::condition_variable sleep_cv_;
+  // Orders the atomic flag flips above against the workers' parking
+  // predicate (guards no data of its own — the flags stay atomics so the
+  // hot paths read them lock-free).
+  sync::mutex sleep_m_;
+  std::condition_variable_any sleep_cv_;
 };
 
 // The pool this thread is currently working for: its leased pool (between
@@ -173,13 +178,14 @@ class pool_cache {
 
   // Pop evictees beyond `cap` off the LRU under m_; caller destroys them
   // (joins their threads) outside the lock.
-  std::vector<std::unique_ptr<work_stealing_pool>> evict_locked(size_t cap);
+  std::vector<std::unique_ptr<work_stealing_pool>> evict_locked(size_t cap) PP_REQUIRES(m_);
 
-  mutable std::mutex m_;
-  std::vector<std::unique_ptr<work_stealing_pool>> all_;  // alive: leased + idle
-  std::vector<work_stealing_pool*> idle_lru_;             // back = most recent
-  size_t idle_cap_ = 8;
-  size_t created_ = 0;
+  mutable sync::mutex m_;
+  // alive: leased + idle
+  std::vector<std::unique_ptr<work_stealing_pool>> all_ PP_GUARDED_BY(m_);
+  std::vector<work_stealing_pool*> idle_lru_ PP_GUARDED_BY(m_);  // back = most recent
+  size_t idle_cap_ PP_GUARDED_BY(m_) = 8;
+  size_t created_ PP_GUARDED_BY(m_) = 0;
   std::atomic<uint64_t> acquires_{0};
 };
 

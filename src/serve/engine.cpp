@@ -102,8 +102,11 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
   if (!p.cb) fut = p.prom.get_future();
 
   {
-    std::unique_lock<std::mutex> lk(m_);
-    not_full_.wait(lk, [&] { return stopping_ || queued_locked() < opts_.queue_capacity; });
+    sync::unique_lock<sync::mutex> lk(m_);
+    // Spelled as a loop, not wait(lk, pred): the predicate reads
+    // m_-guarded state, and a lambda is analyzed by -Wthread-safety as a
+    // separate function that cannot see the lock is held at the call site.
+    while (!stopping_ && queued_locked() >= opts_.queue_capacity) not_full_.wait(lk);
     if (stopping_) {
       lk.unlock();
       response r;
@@ -161,8 +164,10 @@ void engine::executor_loop() {
     std::vector<pending> batch;
     std::vector<pending> dead;  // expired while queued; resolved below, leaseless
     {
-      std::unique_lock<std::mutex> lk(m_);
-      not_empty_.wait(lk, [&] { return stopping_ || queued_locked() > 0; });
+      sync::unique_lock<sync::mutex> lk(m_);
+      // Loop, not wait(lk, pred): see enqueue() — guarded reads must stay
+      // inside the scope the analysis knows holds m_.
+      while (!stopping_ && queued_locked() == 0) not_empty_.wait(lk);
       if (queued_locked() == 0) return;  // stopping_ && drained
       pending head;
       if (pop_head_locked(dead, head)) {
@@ -223,7 +228,7 @@ void engine::executor_loop() {
     if (batch.empty()) {
       // Everything we popped had expired; go back to waiting (or exit if
       // the engine is stopping and the queues drained meanwhile).
-      std::lock_guard<std::mutex> lk(m_);
+      sync::lock_guard<sync::mutex> lk(m_);
       if (stopping_ && queued_locked() == 0) return;
       continue;
     }
@@ -324,7 +329,7 @@ void engine::deliver_expired(pending& p) {
 void engine::stop(bool drain) {
   std::deque<pending> orphans;
   {
-    std::lock_guard<std::mutex> lk(m_);
+    sync::lock_guard<sync::mutex> lk(m_);
     stopping_ = true;
     if (!drain) {
       for (auto& q : queues_) {
@@ -357,7 +362,7 @@ engine_stats engine::stats() const {
   s.batched = batched_.load(std::memory_order_relaxed);
   s.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
   s.exec_seconds = static_cast<double>(exec_nanos_.load(std::memory_order_relaxed)) * 1e-9;
-  std::lock_guard<std::mutex> lk(m_);
+  sync::lock_guard<sync::mutex> lk(m_);
   s.queue_depth = queued_locked();
   return s;
 }

@@ -61,6 +61,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/context.h"
 #include "core/registry.h"
 #include "core/result.h"
@@ -226,31 +227,33 @@ class engine {
   // lease was taken) and count it.
   void deliver_expired(pending& p);
 
-  // ---- queue helpers; all require m_ held -----------------------------------
+  // ---- queue helpers; the m_ requirement is machine-checked -----------------
   // Which deque a pending lands in: its class when priority_classes, the
   // single FIFO otherwise.
   size_t queue_index(priority p) const {
     return opts_.priority_classes ? static_cast<size_t>(p) : 0;
   }
-  size_t queued_locked() const { return queues_[0].size() + queues_[1].size(); }
+  size_t queued_locked() const PP_REQUIRES(m_) {
+    return queues_[0].size() + queues_[1].size();
+  }
   static bool is_expired(const pending& p, std::chrono::steady_clock::time_point now) {
     return p.deadline && *p.deadline <= now;
   }
   // Pop the next runnable head — highest class first, FIFO within a class
   // — moving every already-expired entry encountered into `dead`. Returns
   // false when nothing runnable is queued.
-  bool pop_head_locked(std::vector<pending>& dead, pending& head);
+  bool pop_head_locked(std::vector<pending>& dead, pending& head) PP_REQUIRES(m_);
 
   engine_options opts_;
   context exec_ctx_;  // opts_.ctx with workers = resolved workers_per_run
 
-  mutable std::mutex m_;
-  std::condition_variable not_empty_;  // executors wait here
-  std::condition_variable not_full_;   // blocked submitters wait here
+  mutable sync::mutex m_;
+  std::condition_variable_any not_empty_;  // executors wait here
+  std::condition_variable_any not_full_;   // blocked submitters wait here
   // [0] = batch class, [1] = interactive; everything in [0] when
   // priority_classes is off. Capacity bounds the sum.
-  std::deque<pending> queues_[2];
-  bool stopping_ = false;
+  std::deque<pending> queues_[2] PP_GUARDED_BY(m_);
+  bool stopping_ PP_GUARDED_BY(m_) = false;
 
   std::vector<std::thread> executors_;
   std::once_flag join_once_;

@@ -152,6 +152,46 @@ TEST(JsonReader, Int64ConversionClampsOutOfRangeDoubles) {
   EXPECT_EQ(v.as_int64(), std::numeric_limits<int64_t>::min());
 }
 
+TEST(JsonReader, Uint64ConversionClampsAndFloorsNegatives) {
+  // The unsigned twin of the clamp above: negative and NaN inputs floor to
+  // 0, huge doubles clamp below 2^64 — static_cast alone would be UB on
+  // both ends, and ppserve feeds request fields straight through here.
+  value v;
+  ASSERT_TRUE(parse("-7", v));
+  EXPECT_EQ(v.as_uint64(), 0u);
+  ASSERT_TRUE(parse("-1e300", v));
+  EXPECT_EQ(v.as_uint64(), 0u);
+  ASSERT_TRUE(parse("1e300", v));
+  EXPECT_EQ(v.as_uint64(), 18446744073709549568ull);  // largest double < 2^64
+  ASSERT_TRUE(parse("18446744073709551615", v));
+  EXPECT_EQ(v.as_uint64(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(JsonReader, RejectsPathologicalNesting) {
+  // The recursive-descent parser caps nesting depth; without the cap a
+  // hostile daemon request line like "[[[[..." overflows the stack (an
+  // ASan-visible crash, not a parse error).
+  value v;
+  std::string err;
+  std::string deep(100000, '[');
+  EXPECT_FALSE(parse(deep, v, &err));
+  EXPECT_NE(err.find("deep"), std::string::npos) << err;
+  // 64 levels is within contract either way; just below the cap parses.
+  std::string ok = std::string(32, '[') + "1" + std::string(32, ']');
+  EXPECT_TRUE(parse(ok, v));
+}
+
+TEST(JsonReader, RejectsTruncatedUnicodeEscapes) {
+  // \u escapes cut off by end-of-input must fail cleanly, never read past
+  // the buffer.
+  value v;
+  EXPECT_FALSE(parse("\"\\u12", v));
+  EXPECT_FALSE(parse("\"\\u", v));
+  EXPECT_FALSE(parse("\"\\ud83d\\ude0", v));  // truncated low surrogate
+  EXPECT_FALSE(parse("\"\\ud83dX\"", v));     // high surrogate, no \u follows
+  EXPECT_FALSE(parse("\"\\", v));             // escape at end of input
+}
+
 TEST(JsonReader, RejectsMalformedInput) {
   value v;
   std::string err;

@@ -1,0 +1,57 @@
+// Compile-only fixture proving the -Wthread-safety mode is actually armed.
+//
+// Two ctest entries (clang builds only) compile this file with
+// `-Wthread-safety -Werror=thread-safety -fsyntax-only`:
+//
+//   test_thread_safety_wired  — no defines: the locked increment below must
+//                               compile clean, proving the annotated
+//                               pp::sync types themselves are warning-free.
+//   test_thread_safety_fires  — -DPP_TS_VIOLATION: the unlocked increment
+//                               must FAIL to compile (WILL_FAIL TRUE),
+//                               proving the analyzer rejects a guarded
+//                               access without its mutex. A toolchain or
+//                               flag regression that silently disables the
+//                               analysis turns this test red.
+//
+// The fixture also exercises the real scheduler header, so an annotation
+// regression in deque_slot/pool_cache surfaces here even before the full
+// -DPP_THREAD_SAFETY=ON build runs.
+
+#include "core/annotations.h"
+#include "parallel/scheduler.h"
+
+namespace {
+
+struct guarded_counter {
+  pp::sync::mutex m;
+  int hits PP_GUARDED_BY(m) = 0;
+
+  void bump_locked() {
+    pp::sync::lock_guard<pp::sync::mutex> lk(m);
+    ++hits;  // legal: m held for the scope
+  }
+
+#ifdef PP_TS_VIOLATION
+  void bump_unlocked() {
+    ++hits;  // -Wthread-safety error: writing `hits` requires holding `m`
+  }
+#endif
+};
+
+// Reference the real annotated types so the scheduler header is analyzed.
+void touch_scheduler_types(pp::detail::work_stealing_pool& p, pp::detail::job* j) {
+  p.push(j);
+}
+
+}  // namespace
+
+// Silence -Wunused-function: the fixture is compiled with -fsyntax-only and
+// never linked, but the functions must still be analyzed.
+void pp_thread_safety_fixture_anchor() {
+  guarded_counter c;
+  c.bump_locked();
+#ifdef PP_TS_VIOLATION
+  c.bump_unlocked();
+#endif
+  touch_scheduler_types(*pp::detail::this_thread_pool(), nullptr);
+}

@@ -1,0 +1,552 @@
+#!/usr/bin/env python3
+"""pplint — project-invariant checker for the pp tree.
+
+Static rules that the compilers and sanitizers cannot express but the
+codebase depends on for correctness and reproducibility:
+
+  cancel-in-parallel   cancel_point() must never appear lexically inside a
+                       parallel_for(...) / par_do(...) argument list: a throw
+                       on a pool worker escapes its job and terminates, a
+                       throw between fork and join dangles references, and
+                       the implicit form reads the process-wide context slot
+                       (see src/core/cancel.h).
+  banned-clock-rand    src/ and tools/ must not use std::rand, srand, or
+                       std::chrono::system_clock. Randomness flows through
+                       pp::hash64/derive_seed (reproducible); timing uses
+                       steady_clock (monotonic) only.
+  defaulted-seed       No function/constructor parameter named `seed` may
+                       have a default argument. A silently-defaulted seed is
+                       a hidden global that breaks reproducibility audits.
+  solver-coverage      Every registered solver family must also register its
+                       reference implementation (`<family>/sequential`, or
+                       `sssp/dijkstra` for sssp) so the cross-checking
+                       harnesses (test_soak, ppfuzz) can verify every
+                       solver; and those harnesses must enumerate the
+                       registry dynamically (`.solvers()`), never keep a
+                       hand-maintained list that can go stale.
+  json-fields          Every field of engine_stats, run_result, and
+                       batch_result must be emitted by the corresponding
+                       to_json writer, so machine-readable envelopes never
+                       silently drop a counter that was added to the struct.
+
+Usage:
+  tools/pplint.py [--root DIR]     lint the tree (exit 1 on violations)
+  tools/pplint.py --self-test      prove each rule fires on a synthetic
+                                   violation and stays quiet on clean code
+
+Runs as ctest `test_pplint` / `test_pplint_selftest` and as a CI job.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Source preprocessing: strip comments and string/char literals so rules
+# never fire on prose or quoted text. Newlines inside stripped regions are
+# preserved so reported line numbers stay exact.
+
+
+def strip_comments_and_strings(text):
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+            out.append(quote + quote)  # keep a token so `("")` stays balanced
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def cxx_files(root, subdirs):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _dirnames, filenames in sorted(os.walk(base)):
+            for name in sorted(filenames):
+                if name.endswith((".h", ".hpp", ".cpp", ".cc")):
+                    yield os.path.join(dirpath, name)
+
+
+class Violation:
+    def __init__(self, path, line, rule, msg):
+        self.path, self.line, self.rule, self.msg = path, line, rule, msg
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule, self.msg)
+
+
+# --------------------------------------------------------------------------
+# Rule: cancel-in-parallel
+
+
+def check_cancel_in_parallel(path, text):
+    """Flag cancel_point() lexically inside a parallel_for/par_do call's
+    argument list (which is where the loop-body/task lambdas live)."""
+    out = []
+    for m in re.finditer(r"\b(?:parallel_for|par_do)\s*\(", text):
+        depth = 1
+        i = m.end()
+        start = i
+        while i < len(text) and depth > 0:
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+            i += 1
+        span = text[start:i]
+        c = re.search(r"\bcancel_point\s*\(", span)
+        if c:
+            out.append(
+                Violation(
+                    path,
+                    line_of(text, start + c.start()),
+                    "cancel-in-parallel",
+                    "cancel_point() inside a parallel region: a throw here "
+                    "escapes a pool worker or dangles a forked job "
+                    "(src/core/cancel.h contract)",
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule: banned-clock-rand
+
+BANNED_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*rand\b"), "std::rand: use pp::hash64 / pp::random_stream"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand: use seeded pp::random_stream"),
+    (
+        re.compile(r"\bsystem_clock\b"),
+        "system_clock: wall-clock time is not monotonic; use steady_clock",
+    ),
+]
+
+
+def check_banned_clock_rand(path, text):
+    out = []
+    for pat, why in BANNED_PATTERNS:
+        for m in pat.finditer(text):
+            out.append(Violation(path, line_of(text, m.start()), "banned-clock-rand", why))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule: defaulted-seed
+
+
+def check_defaulted_seed(path, text):
+    """Flag `seed = <default>` where the innermost enclosing bracket is '(',
+    i.e. a defaulted function/constructor parameter. Member initializers
+    (innermost '{') and assignments at statement scope do not match."""
+    out = []
+    for m in re.finditer(r"\bseed\s*=(?!=)", text):
+        # Walk backwards to the nearest unmatched opener.
+        depth = 0
+        innermost = None
+        for ch in reversed(text[: m.start()]):
+            if ch in ")}]":
+                depth += 1
+            elif ch in "({[":
+                if depth == 0:
+                    innermost = ch
+                    break
+                depth -= 1
+        if innermost == "(":
+            out.append(
+                Violation(
+                    path,
+                    line_of(text, m.start()),
+                    "defaulted-seed",
+                    "parameter `seed` has a default argument; seeds must be "
+                    "explicit at every call site",
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule: solver-coverage
+
+# Families whose reference solver is not `<family>/sequential`.
+REFERENCE_EXCEPTIONS = {"sssp": "sssp/dijkstra"}
+
+
+def registered_solvers(registry_text):
+    return re.findall(r'add_solver\s*\(\s*\{\s*"([^"]+)"', registry_text)
+
+
+def check_solver_coverage(root, registry_path, harness_paths):
+    out = []
+    with open(registry_path, encoding="utf-8") as f:
+        raw = f.read()
+    text = strip_comments_and_strings(raw)
+    # Registration names live in string literals, so extract them from the
+    # raw text but only at positions the stripped text still marks as code.
+    names = registered_solvers(raw)
+    if not names:
+        out.append(Violation(registry_path, 1, "solver-coverage", "no add_solver registrations found (parser broken?)"))
+        return out
+    families = {}
+    for n in names:
+        fam = n.split("/", 1)[0]
+        families.setdefault(fam, set()).add(n)
+    for fam in sorted(families):
+        ref = REFERENCE_EXCEPTIONS.get(fam, fam + "/sequential")
+        if ref not in names:
+            line = 1
+            m = re.search(r'add_solver\s*\(\s*\{\s*"%s/' % re.escape(fam), raw)
+            if m:
+                line = line_of(raw, m.start())
+            out.append(
+                Violation(
+                    registry_path,
+                    line,
+                    "solver-coverage",
+                    "family '%s' registers %d solver(s) but no reference '%s'; "
+                    "test_soak and ppfuzz cannot cross-check it" % (fam, len(families[fam]), ref),
+                )
+            )
+    for hp in harness_paths:
+        with open(hp, encoding="utf-8") as f:
+            htext = strip_comments_and_strings(f.read())
+        if ".solvers()" not in htext.replace(" ", ""):
+            out.append(
+                Violation(
+                    hp,
+                    1,
+                    "solver-coverage",
+                    "harness does not enumerate registry::instance().solvers(); "
+                    "a hand-kept solver list silently goes stale",
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule: json-fields
+
+# Struct fields whose JSON spelling differs from the member name. A field
+# mapping to multiple keys requires all of them.
+FIELD_KEY_MAP = {
+    ("run_result", "value"): ["score", "summary"],
+}
+# Fields that are deliberately not serialized (none today).
+FIELD_SKIP = set()
+
+
+def struct_fields(header_text, struct_name):
+    """Data members of `struct <name> { ... }` at depth 1 (no methods, no
+    nested types). Comments must already be stripped."""
+    m = re.search(r"\bstruct\s+%s\b[^{;]*\{" % re.escape(struct_name), header_text)
+    if not m:
+        return None
+    i = m.end()
+    depth = 1
+    body_start = i
+    while i < len(header_text) and depth > 0:
+        if header_text[i] == "{":
+            depth += 1
+        elif header_text[i] == "}":
+            depth -= 1
+        i += 1
+    body = header_text[body_start : i - 1]
+    # Remove nested braces (method bodies, nested types, brace initializers
+    # keep their `=` form below) so only depth-1 declarations remain.
+    flat = []
+    depth = 0
+    for ch in body:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        elif depth == 0:
+            flat.append(ch)
+    body = "".join(flat)
+    # Drop annotation attributes so PP_GUARDED_BY(m_) doesn't read as '('.
+    body = re.sub(r"\bPP_[A-Z_]+\s*\([^)]*\)", "", body)
+    fields = []
+    for decl in body.split(";"):
+        decl = decl.split("=", 1)[0].strip()
+        if not decl or "(" in decl or decl.startswith(("using ", "typedef ", "enum ", "struct ", "class ", "friend ", "static ")):
+            continue
+        dm = re.search(r"(\w+)\s*(?:\[[^\]]*\])?\s*$", decl)
+        if dm and dm.group(1) not in ("public", "private", "protected", "const", "mutable"):
+            fields.append(dm.group(1))
+    return fields
+
+
+def check_json_fields(root, spec):
+    out = []
+    for struct_name, header_rel, impl_rel in spec:
+        header_path = os.path.join(root, header_rel)
+        impl_path = os.path.join(root, impl_rel)
+        with open(header_path, encoding="utf-8") as f:
+            htext = strip_comments_and_strings(f.read())
+        with open(impl_path, encoding="utf-8") as f:
+            impl_raw = f.read()
+        fields = struct_fields(htext, struct_name)
+        if fields is None:
+            out.append(Violation(header_path, 1, "json-fields", "struct %s not found" % struct_name))
+            continue
+        if not fields:
+            out.append(Violation(header_path, 1, "json-fields", "no fields parsed for %s (parser broken?)" % struct_name))
+            continue
+        emitted = set(re.findall(r'w\s*\.\s*(?:member|key)\s*\(\s*"([^"]+)"', impl_raw))
+        for field in fields:
+            if (struct_name, field) in FIELD_SKIP:
+                continue
+            keys = FIELD_KEY_MAP.get((struct_name, field), [field])
+            for key in keys:
+                if key not in emitted:
+                    out.append(
+                        Violation(
+                            header_path,
+                            1,
+                            "json-fields",
+                            "%s field '%s' (JSON key '%s') is not emitted by "
+                            "to_json in %s" % (struct_name, field, key, impl_rel),
+                        )
+                    )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+JSON_SPEC = [
+    ("engine_stats", "src/serve/engine.h", "src/serve/engine.cpp"),
+    ("run_result", "src/core/result.h", "src/core/registry.cpp"),
+    ("batch_result", "src/core/result.h", "src/core/registry.cpp"),
+]
+
+
+def lint_tree(root):
+    violations = []
+    for path in cxx_files(root, ["src", "tools", "examples", "bench"]):
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        text = strip_comments_and_strings(raw)
+        violations += check_cancel_in_parallel(path, text)
+        violations += check_defaulted_seed(path, text)
+        if not path.startswith(os.path.join(root, "examples")) and not path.startswith(
+            os.path.join(root, "bench")
+        ):
+            violations += check_banned_clock_rand(path, text)
+    registry = os.path.join(root, "src", "core", "registry.cpp")
+    harnesses = [
+        os.path.join(root, "tests", "test_soak.cpp"),
+        os.path.join(root, "tools", "ppfuzz.cpp"),
+    ]
+    if os.path.exists(registry):
+        violations += check_solver_coverage(root, registry, [h for h in harnesses if os.path.exists(h)])
+    violations += check_json_fields(root, [s for s in JSON_SPEC if os.path.exists(os.path.join(root, s[1]))])
+    return violations
+
+
+# --------------------------------------------------------------------------
+# Self-test: each rule must fire on a synthetic violation and stay quiet on
+# the clean twin. The fixtures double as documentation of what each rule
+# rejects.
+
+FIXTURE_CANCEL_BAD = """
+void solve() {
+  parallel_for(0, n, [&](size_t i) {
+    relax(i);
+    pp::cancel_point();  // throw on a pool worker -> terminate
+  });
+}
+"""
+
+FIXTURE_CANCEL_GOOD = """
+void solve() {
+  for (int round = 0; round < rounds; ++round) {
+    pp::cancel_point();  // quiescent point between phases: legal
+    parallel_for(0, n, [&](size_t i) { relax(i); });
+  }
+}
+"""
+
+FIXTURE_CLOCK_BAD = """
+#include <chrono>
+double now() {
+  auto t = std::chrono::system_clock::now();  // non-monotonic
+  int r = std::rand();
+  return r;
+}
+"""
+
+FIXTURE_CLOCK_GOOD = """
+#include <chrono>
+// std::rand and system_clock in a comment are fine.
+double now() {
+  auto t = std::chrono::steady_clock::now();
+  return 0;
+}
+"""
+
+FIXTURE_SEED_BAD = """
+struct gen {
+  explicit gen(uint64_t seed = 0);  // hidden global default
+};
+"""
+
+FIXTURE_SEED_GOOD = """
+struct gen {
+  explicit gen(uint64_t seed);
+  uint64_t seed = 7;  // member initializer: innermost bracket is '{'
+};
+void use() {
+  uint64_t seed = 3;  // statement scope: no enclosing '('
+  gen g(seed);
+}
+"""
+
+FIXTURE_REGISTRY_BAD = """
+void register_all(registry& r) {
+  r.add_solver({"foo/parallel", "foo", "has no reference twin"}, fn);
+  r.add_solver({"bar/sequential", "bar", "fine"}, fn);
+}
+"""
+
+FIXTURE_HARNESS_BAD = """
+int main() {
+  const char* names[] = {"foo/parallel", "bar/sequential"};  // stale list
+  for (auto n : names) run(n);
+}
+"""
+
+FIXTURE_JSON_HEADER = """
+struct engine_stats {
+  uint64_t submitted = 0;
+  uint64_t dropped = 0;  // new counter, forgotten in to_json
+};
+"""
+
+FIXTURE_JSON_IMPL = """
+std::string to_json(const engine_stats& s) {
+  json::writer w;
+  w.begin_object();
+  w.member("submitted", s.submitted);
+  w.end_object();
+  return w.str();
+}
+"""
+
+
+def expect(cond, what, failures):
+    if cond:
+        print("  ok: %s" % what)
+    else:
+        print("  FAIL: %s" % what)
+        failures.append(what)
+
+
+def self_test():
+    import tempfile
+
+    failures = []
+    print("pplint self-test")
+
+    v = check_cancel_in_parallel("bad.cpp", strip_comments_and_strings(FIXTURE_CANCEL_BAD))
+    expect(len(v) == 1 and v[0].rule == "cancel-in-parallel", "cancel-in-parallel fires on cancel_point in parallel_for body", failures)
+    v = check_cancel_in_parallel("good.cpp", strip_comments_and_strings(FIXTURE_CANCEL_GOOD))
+    expect(len(v) == 0, "cancel-in-parallel quiet on phase-boundary cancel_point", failures)
+
+    v = check_banned_clock_rand("bad.cpp", strip_comments_and_strings(FIXTURE_CLOCK_BAD))
+    expect(
+        len(v) == 2
+        and any(x.msg.startswith("std::rand") for x in v)
+        and any(x.msg.startswith("system_clock") for x in v),
+        "banned-clock-rand fires on std::rand and system_clock",
+        failures,
+    )
+    v = check_banned_clock_rand("good.cpp", strip_comments_and_strings(FIXTURE_CLOCK_GOOD))
+    expect(len(v) == 0, "banned-clock-rand quiet on steady_clock and comments", failures)
+
+    v = check_defaulted_seed("bad.h", strip_comments_and_strings(FIXTURE_SEED_BAD))
+    expect(len(v) == 1 and v[0].rule == "defaulted-seed", "defaulted-seed fires on `seed = 0` parameter", failures)
+    v = check_defaulted_seed("good.h", strip_comments_and_strings(FIXTURE_SEED_GOOD))
+    expect(len(v) == 0, "defaulted-seed quiet on member initializer and locals", failures)
+
+    with tempfile.TemporaryDirectory() as td:
+        reg = os.path.join(td, "registry.cpp")
+        harness = os.path.join(td, "soak.cpp")
+        with open(reg, "w") as f:
+            f.write(FIXTURE_REGISTRY_BAD)
+        with open(harness, "w") as f:
+            f.write(FIXTURE_HARNESS_BAD)
+        v = check_solver_coverage(td, reg, [harness])
+        expect(
+            len(v) == 2 and any("foo" in x.msg for x in v) and any("solvers()" in x.msg for x in v),
+            "solver-coverage fires on missing reference and stale harness list",
+            failures,
+        )
+
+        hdr = os.path.join(td, "engine.h")
+        impl = os.path.join(td, "engine.cpp")
+        with open(hdr, "w") as f:
+            f.write(FIXTURE_JSON_HEADER)
+        with open(impl, "w") as f:
+            f.write(FIXTURE_JSON_IMPL)
+        v = check_json_fields(td, [("engine_stats", "engine.h", "engine.cpp")])
+        expect(
+            len(v) == 1 and "dropped" in v[0].msg,
+            "json-fields fires on struct field missing from to_json",
+            failures,
+        )
+
+    if failures:
+        print("self-test FAILED (%d)" % len(failures))
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description="pp project-invariant linter")
+    ap.add_argument("--root", default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))), help="repo root (default: parent of tools/)")
+    ap.add_argument("--self-test", action="store_true", help="run the rule fixtures instead of linting the tree")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    violations = lint_tree(args.root)
+    for v in violations:
+        print(v)
+    if violations:
+        print("pplint: %d violation(s)" % len(violations))
+        return 1
+    print("pplint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/json.h"
 #include "core/registry.h"
 #include "serve/engine.h"
@@ -293,8 +294,10 @@ struct session {
     for (;;) {
       entry e;
       {
-        std::unique_lock<std::mutex> lk(m_);
-        cv_.wait(lk, [&] { return done_ || !out_.empty(); });
+        pp::sync::unique_lock<pp::sync::mutex> lk(m_);
+        // Loop, not wait(lk, pred): the predicate reads m_-guarded state,
+        // which -Wthread-safety only accepts inside the locked scope.
+        while (!done_ && out_.empty()) cv_.wait(lk);
         if (out_.empty()) return;
         e = std::move(out_.front());
         out_.pop_front();
@@ -324,7 +327,7 @@ struct session {
 
   void finish() {
     {
-      std::lock_guard<std::mutex> lk(m_);
+      pp::sync::lock_guard<pp::sync::mutex> lk(m_);
       done_ = true;
     }
     cv_.notify_all();
@@ -340,7 +343,7 @@ struct session {
 
   void push(entry e) {
     {
-      std::lock_guard<std::mutex> lk(m_);
+      pp::sync::lock_guard<pp::sync::mutex> lk(m_);
       out_.push_back(std::move(e));
     }
     cv_.notify_one();
@@ -363,11 +366,11 @@ struct session {
   }
 
   pp::serve::engine& eng_;
-  std::mutex m_;
-  std::condition_variable cv_;
-  std::deque<entry> out_;
-  bool done_ = false;
-  uint64_t index_ = 0;
+  pp::sync::mutex m_;
+  std::condition_variable_any cv_;
+  std::deque<entry> out_ PP_GUARDED_BY(m_);
+  bool done_ PP_GUARDED_BY(m_) = false;
+  uint64_t index_ = 0;  // reader-thread only; never shared
 };
 
 void serve_stream(pp::serve::engine& eng, FILE* in, FILE* out) {
