@@ -1,0 +1,116 @@
+// Canonical input fingerprints: a 128-bit content hash over a canonical
+// serialized form of a problem input.
+//
+// The paper's central property — every solver is deterministic given
+// (algorithm, input, seed) — makes responses content-addressable. This
+// header supplies the addressing half: `fingerprint_stream` absorbs a
+// canonical word stream and digests it into a `fingerprint`, the key the
+// serving engine's result cache / in-flight dedup (src/serve/), the ppfuzz
+// corpus dedup, and the registry golden-result tables all share.
+//
+// Stability contract (locked by tests/golden_results.inc):
+//
+//  * Identical logical inputs produce identical word streams and identical
+//    fingerprints, regardless of construction path. Each canonicalizer
+//    (declared next to its descriptor struct in core/registry.h) is
+//    responsible for emitting a *canonical* encoding: CSR graphs are
+//    already edge-order-independent, and representational degrees of
+//    freedom (an explicit all-ones LIS weight vector versus the empty
+//    "unit weights" spelling) are normalized away.
+//  * The digest is pure integer arithmetic (SplitMix64 finalizers over
+//    64-bit words), so a fingerprint is identical across platforms,
+//    compilers, and word orders — safe to commit to the repo and to shard
+//    on (the planned consistent-hash pprouter front end).
+//  * The encoding is versioned by kFingerprintVersion, absorbed into
+//    every digest. Changing any canonicalizer must bump it (and
+//    regenerate the golden table), so stale cross-process cache keys can
+//    never alias fresh ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pp {
+
+// Bump when any canonical encoding changes; see the stability contract.
+inline constexpr uint64_t kFingerprintVersion = 1;
+
+struct fingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const fingerprint&, const fingerprint&) = default;
+  friend auto operator<=>(const fingerprint&, const fingerprint&) = default;
+
+  // 32 lowercase hex digits, hi word first — the spelling the JSON
+  // envelopes, the golden table, and the ppserve wire format all use.
+  std::string hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) out[15 - i] = kDigits[(hi >> (4 * i)) & 0xf];
+    for (int i = 0; i < 16; ++i) out[31 - i] = kDigits[(lo >> (4 * i)) & 0xf];
+    return out;
+  }
+};
+
+namespace detail {
+// SplitMix64 finalizer — the same mixer parallel/random.h builds its
+// deterministic streams from, restated here so core/fingerprint.h stays a
+// leaf header (no parallel/ include from core/).
+inline uint64_t fp_mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+inline uint64_t fp_rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+}  // namespace detail
+
+// Absorbs a stream of 64-bit words into two cross-mixed SplitMix64 lanes.
+// Every primitive a canonicalizer emits is widened to one word, so the
+// encoding has no byte-order or padding freedom to get wrong. digest() is
+// length-strengthened (the word count enters the finalizer), so a stream
+// and any proper prefix of it can never collide trivially.
+class fingerprint_stream {
+ public:
+  fingerprint_stream() { word(kFingerprintVersion); }
+
+  void word(uint64_t w) {
+    ++len_;
+    h1_ = detail::fp_mix64(h1_ ^ (w * 0x9e3779b97f4a7c15ULL));
+    h2_ = detail::fp_mix64(detail::fp_rotl(h2_, 29) ^ (w + 0xd1b54a32d192ed03ULL));
+  }
+
+  // Domain-separation tag: every canonicalizer leads with its variant
+  // index, so e.g. an empty sequence and an empty frequency table digest
+  // differently.
+  void tag(uint64_t t) { word(0xf1a6f1a6f1a6f1a6ULL ^ t); }
+
+  void u64(uint64_t v) { word(v); }
+  void i64(int64_t v) { word(static_cast<uint64_t>(v)); }  // two's complement
+  void u32(uint32_t v) { word(v); }
+  void i32(int32_t v) { word(static_cast<uint64_t>(static_cast<int64_t>(v))); }
+  void size(size_t v) { word(static_cast<uint64_t>(v)); }
+
+  // Length-prefixed vector of integral values — the one aggregate shape
+  // every descriptor struct is built from.
+  template <typename Vec>
+  void vec(const Vec& xs) {
+    size(xs.size());
+    for (const auto& x : xs) word(static_cast<uint64_t>(static_cast<int64_t>(x)));
+  }
+
+  fingerprint digest() const {
+    uint64_t a = detail::fp_mix64(h1_ ^ detail::fp_mix64(len_));
+    uint64_t b = detail::fp_mix64(h2_ + a);
+    return fingerprint{a, b};
+  }
+
+ private:
+  uint64_t h1_ = 0x243f6a8885a308d3ULL;  // pi digits; arbitrary fixed IVs
+  uint64_t h2_ = 0x13198a2e03707344ULL;
+  uint64_t len_ = 0;
+};
+
+}  // namespace pp

@@ -132,6 +132,90 @@ std::string_view problem_name_of(const problem_input& in) {
   return kNames[in.index()];
 }
 
+// ---- Canonicalizers ---------------------------------------------------------
+// One per problem_input alternative (pplint: fingerprint-coverage). Each
+// emits a self-delimiting word stream: lengths before elements, every
+// field in declaration order, no representational freedom left (see the
+// per-struct notes in registry.h). Changing any encoding here is a
+// fingerprint break: bump kFingerprintVersion and regenerate
+// tests/golden_results.inc (`ppdriver golden`).
+
+void canonicalize(const sequence_input& in, fingerprint_stream& s) {
+  s.vec(in.a);
+  // Unit-weight normalization: explicit all-ones == empty (see registry.h).
+  bool unit = true;
+  for (int32_t w : in.weights) unit = unit && w == 1;
+  if (unit) {
+    s.size(0);
+  } else {
+    s.vec(in.weights);
+  }
+}
+
+void canonicalize(const activity_input& in, fingerprint_stream& s) {
+  s.size(in.acts.size());
+  for (const activity& a : in.acts) {
+    s.i64(a.start);
+    s.i64(a.end);
+    s.i64(a.weight);
+  }
+}
+
+void canonicalize(const graph_input& in, fingerprint_stream& s) {
+  const graph& g = in.g;
+  s.size(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) s.vec(g.neighbors(v));
+  s.vec(in.vertex_priority);
+  s.vec(in.edge_priority);
+}
+
+void canonicalize(const sssp_input& in, fingerprint_stream& s) {
+  const wgraph& g = in.g;
+  s.size(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    s.vec(g.out_neighbors(v));
+    s.vec(g.out_weights(v));
+  }
+  s.u32(in.source);
+  s.u32(in.delta);
+}
+
+void canonicalize(const huffman_input& in, fingerprint_stream& s) { s.vec(in.freqs); }
+
+void canonicalize(const knapsack_input& in, fingerprint_stream& s) {
+  s.i64(in.capacity);
+  s.size(in.items.size());
+  for (const knapsack_item& it : in.items) {
+    s.i64(it.weight);
+    s.i64(it.value);
+  }
+}
+
+void canonicalize(const list_input& in, fingerprint_stream& s) {
+  s.vec(in.next);
+  s.vec(in.weights);  // deliberately NOT unit-normalized; see registry.h
+}
+
+void canonicalize(const shuffle_input& in, fingerprint_stream& s) {
+  s.size(in.n);
+  s.vec(in.targets);
+}
+
+void canonicalize(const whac_input& in, fingerprint_stream& s) {
+  s.size(in.moles.size());
+  for (const mole& m : in.moles) {
+    s.i64(m.t);
+    s.i64(m.p);
+  }
+}
+
+fingerprint fingerprint_of(const problem_input& in) {
+  fingerprint_stream s;
+  s.tag(in.index());  // domain separation between alternatives
+  std::visit([&s](const auto& alt) { canonicalize(alt, s); }, in);
+  return s.digest();
+}
+
 std::vector<solver_info> registry::solvers() const {
   std::vector<solver_info> out;
   out.reserve(solvers_.size());
@@ -167,6 +251,7 @@ run_result<solver_value> registry::run(std::string_view name, const problem_inpu
   auto res = run_timed(e.info.name, ctx,
                        [&](const context& c) -> solver_value { return e.fn(input, c); });
   res.stats = stats_of(res.value);  // the variant hides the payload's .stats member
+  res.input_fp = fingerprint_of(input);
   return res;
 }
 
@@ -205,6 +290,19 @@ batch_result<solver_value> registry::run_batch_impl(
     }
   }
 
+  // Fingerprint each item's input once per distinct object: the --repeats
+  // overload hands every item the same input&, so hashing by address
+  // collapses N envelope fingerprints into one canonicalization pass.
+  const problem_input* fp_src = nullptr;
+  fingerprint fp{};
+  auto fp_of = [&](const problem_input& in) {
+    if (&in != fp_src) {
+      fp_src = &in;
+      fp = fingerprint_of(in);
+    }
+    return fp;
+  };
+
   // The whole batch shares ONE run_scope: the context is installed and the
   // scheduler bound (pool lease / OpenMP team warm-up) here, once.
   // Per-item dispatches below construct nested scopes that reuse the
@@ -231,6 +329,7 @@ batch_result<solver_value> registry::run_batch_impl(
       res.seed = item_ctx.seed;
       res.workers = out.workers;
       res.status = run_status::cancelled;
+      res.input_fp = fp_of(input_at(i));
       out.scores[i] = 0;
       out.items[i] = std::move(res);
       continue;
@@ -239,6 +338,7 @@ batch_result<solver_value> registry::run_batch_impl(
     auto res = run_timed(e.info.name, item_ctx,
                          [&](const context& c) -> solver_value { return e.fn(in, c); });
     res.stats = stats_of(res.value);
+    res.input_fp = fp_of(in);
     out.scores[i] = res.cancelled() ? 0 : score_of(res.value);
     out.items[i] = std::move(res);
   }
@@ -271,6 +371,7 @@ void write_run(json::writer& w, const run_result<solver_value>& r) {
   w.member("workers", static_cast<uint64_t>(r.workers));
   w.member("seed", r.seed);
   w.member("status", run_status_name(r.status));
+  w.member("input_fingerprint", r.input_fp.hex());
   w.member("seconds", r.seconds);
   w.member("score", score_of(r.value));
   w.member("summary", summary_of(r.value));

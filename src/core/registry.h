@@ -35,56 +35,81 @@
 #include "algos/sssp.h"
 #include "algos/whac.h"
 #include "core/context.h"
+#include "core/fingerprint.h"
 #include "core/result.h"
 #include "graph/csr.h"
 
 namespace pp {
 
 // ---- Per-problem input descriptors ------------------------------------------
+//
+// Every descriptor has a canonicalizer (declared beside it, implemented in
+// registry.cpp) that emits its canonical word stream into a
+// fingerprint_stream — see the stability contract in core/fingerprint.h.
+// tools/pplint.py's fingerprint-coverage rule enforces that every
+// problem_input alternative keeps one.
 
 struct sequence_input {  // problem "lis": LIS / weighted LIS
   std::vector<int64_t> a;
   std::vector<int32_t> weights;  // empty = unit weights
 };
+// Canonical form: an explicit all-ones weight vector IS the unit-weight
+// input (both LIS paths compute `weights.empty() ? 1 : weights[i]`), so it
+// canonicalizes to the empty spelling and the two fingerprint identically.
+void canonicalize(const sequence_input& in, fingerprint_stream& s);
 
 struct activity_input {  // problem "activity": weighted + unweighted selection
   std::vector<activity> acts;  // sorted by sort_activities()
 };
+void canonicalize(const activity_input& in, fingerprint_stream& s);
 
 struct graph_input {  // problem "graph": MIS, coloring, matching
   graph g;
   std::vector<uint32_t> vertex_priority;  // permutation of 0..n-1
   std::vector<uint32_t> edge_priority;    // permutation of 0..m-1 (canonical edge order)
 };
+// CSR adjacency is sorted + deduped by construction, so two graphs built
+// from any edge-list ordering serialize — and fingerprint — identically.
+void canonicalize(const graph_input& in, fingerprint_stream& s);
 
 struct sssp_input {  // problem "sssp"
   wgraph g;
   vertex_t source = 0;
   uint32_t delta = 0;  // 0 = let delta-stepping pick min edge weight
 };
+void canonicalize(const sssp_input& in, fingerprint_stream& s);
 
 struct huffman_input {  // problem "huffman"
   std::vector<uint64_t> freqs;  // sorted ascending, all >= 1
 };
+void canonicalize(const huffman_input& in, fingerprint_stream& s);
 
 struct knapsack_input {  // problem "knapsack"
   int64_t capacity = 0;
   std::vector<knapsack_item> items;
 };
+void canonicalize(const knapsack_input& in, fingerprint_stream& s);
 
 struct list_input {  // problem "list": list ranking (weighted when weights set)
   std::vector<uint32_t> next;
   std::vector<int64_t> weights;  // empty = unweighted ranking
 };
+// NOT normalized like sequence_input: empty weights select the unweighted
+// solvers (list_ranking_result), explicit weights the weighted ones
+// (weighted_ranking_result) — different payload types, so an all-ones
+// weight vector is a logically different input and keeps its own bytes.
+void canonicalize(const list_input& in, fingerprint_stream& s);
 
 struct shuffle_input {  // problem "shuffle": parallel Knuth shuffle
   size_t n = 0;
   std::vector<uint32_t> targets;  // H[i] in [0, i]
 };
+void canonicalize(const shuffle_input& in, fingerprint_stream& s);
 
 struct whac_input {  // problem "whac": Whac-A-Mole dominance DP
   std::vector<mole> moles;
 };
+void canonicalize(const whac_input& in, fingerprint_stream& s);
 
 using problem_input =
     std::variant<sequence_input, activity_input, graph_input, sssp_input, huffman_input,
@@ -94,6 +119,14 @@ using problem_input =
 // the same string solver_info::problem uses, so callers can check an
 // input/solver pairing without attempting a dispatch.
 std::string_view problem_name_of(const problem_input& in);
+
+// The 128-bit content address of an input: variant tag + the held
+// alternative's canonical word stream, digested. Two inputs with equal
+// fingerprints are (up to 2^-128 collisions) the same logical problem
+// instance, so (solver, fingerprint, seed) addresses a deterministic
+// result — the key the serve-layer cache/dedup, the ppfuzz corpus, and
+// the golden-result regression table share.
+fingerprint fingerprint_of(const problem_input& in);
 
 // ---- Type-erased solver payload ---------------------------------------------
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/context.h"
+#include "core/fingerprint.h"
 #include "core/stats.h"
 #include "parallel/api.h"
 #include "parallel/backend.h"
@@ -48,6 +49,11 @@ struct run_result {
   unsigned workers = 0;  // actual worker count the run executed on
   run_status status = run_status::ok;           // ok, or cancelled mid-run
   std::string solver;                           // registry name, e.g. "lis/parallel"
+  // Canonical fingerprint of the input the run consumed (core/fingerprint.h).
+  // Filled by the registry dispatchers, which hold the problem_input;
+  // all-zero when the envelope was built around a raw closure (run_timed)
+  // that never saw a registry input.
+  fingerprint input_fp{};
 
   bool cancelled() const { return status == run_status::cancelled; }
 };

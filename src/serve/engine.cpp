@@ -98,9 +98,14 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
   p.deadline = req.deadline;
   p.prio = req.prio;
   p.cb = std::move(cb);
+  // Fingerprint outside the lock: the canonicalization pass is O(input)
+  // and must not serialize against executors sweeping the queues.
+  p.fp = fingerprint_of(p.input);
   std::future<response> fut;
   if (!p.cb) fut = p.prom.get_future();
 
+  response hit;
+  bool from_cache = false;
   {
     sync::unique_lock<sync::mutex> lk(m_);
     // Spelled as a loop, not wait(lk, pred): the predicate reads
@@ -116,8 +121,25 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
       return fut;
     }
     p.seed = req.seed ? *req.seed : reserve_anonymous_seed();
-    queues_[queue_index(p.prio)].push_back(std::move(p));
-    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (cache_lookup_locked(key_of(p), hit)) {
+      from_cache = true;  // delivered below, outside the lock
+    } else {
+      if (opts_.cache_entries > 0) cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (attach_dup_locked(p)) {
+        // Collapsed onto an identical execution: no queue entry, no
+        // notify (nothing new became runnable).
+        deduped_.fetch_add(1, std::memory_order_relaxed);
+        return fut;
+      }
+      queues_[queue_index(p.prio)].push_back(std::move(p));
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (from_cache) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    deliver(p, std::move(hit));
+    return fut;
   }
   // notify_all, not notify_one: a single notify can be swallowed by an
   // executor coalescing a *different* solver inside its batch window (it
@@ -127,6 +149,147 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
   return fut;
 }
 
+bool engine::cache_lookup_locked(const result_key& k, response& out) {
+  if (opts_.cache_entries == 0) return false;
+  auto it = cache_.find(k);
+  if (it == cache_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  out = it->second->resp;
+  out.cached = true;
+  return true;
+}
+
+void engine::cache_insert_locked(const result_key& k, const response& r) {
+  if (opts_.cache_entries == 0) return;
+  auto it = cache_.find(k);
+  if (it != cache_.end()) {
+    // Determinism: the stored envelope already IS this result. Touch it.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= opts_.cache_entries) {
+    cache_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(cache_entry{k, r});
+  cache_.emplace(k, lru_.begin());
+}
+
+bool engine::attach_dup_locked(pending& w) {
+  // Queued leaders first. O(queue) scan — the same bound every pop-time
+  // sweep already pays, and capped by queue_capacity.
+  for (size_t ci = 0; ci < 2; ++ci) {
+    std::deque<pending>& q = queues_[ci];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      pending& e = *it;
+      if (e.solver != w.solver || e.fp != w.fp || e.seed != w.seed) continue;
+      size_t want = queue_index(w.prio);
+      if (want > ci) {
+        // Priority classes respected: an interactive duplicate of a
+        // batch-class leader promotes the whole group — it pops (and
+        // coalesces) at the interactive class from now on, instead of the
+        // interactive waiter queuing behind batch traffic.
+        e.prio = w.prio;
+        e.followers.push_back(std::move(w));
+        queues_[want].push_back(std::move(e));
+        q.erase(it);
+      } else {
+        e.followers.push_back(std::move(w));
+      }
+      return true;
+    }
+  }
+  // Then executions in their window or mid-run — but never a cancellable
+  // flush: its token fires at ITS waiters' latest deadline, and a joiner
+  // outliving that would be poisoned by the shared cancellation. Such a
+  // duplicate queues its own execution instead (correct, just uncollapsed).
+  auto it = running_.find(result_key{w.solver, w.fp, w.seed});
+  if (it != running_.end() && !(it->second->started && it->second->cancellable)) {
+    it->second->waiters.push_back(std::move(w));
+    return true;
+  }
+  return false;
+}
+
+void engine::register_running_locked(pending& p) {
+  auto [it, inserted] = running_.try_emplace(key_of(p), nullptr);
+  if (!inserted) return;  // a cancellable twin is already running; stay invisible
+  it->second = std::make_shared<fanout>();
+  p.fan = it->second;
+}
+
+void engine::seal_for_flush_locked(pending& p) {
+  if (p.fan) {
+    for (auto& w : p.fan->waiters) p.followers.push_back(std::move(w));
+    p.fan->waiters.clear();
+  }
+  // A token cancels the solve for EVERY waiter at once, so the flush is
+  // cancellable only when all waiters consent (each has a deadline); it
+  // then fires at the latest one — the moment nobody can still want the
+  // result. Mixed groups run uncancellable: one waiter's deadline never
+  // poisons the others' shared execution.
+  bool all = p.deadline.has_value();
+  auto latest = p.deadline.value_or(std::chrono::steady_clock::time_point::min());
+  for (const auto& f : p.followers) {
+    if (!f.deadline) {
+      all = false;
+      break;
+    }
+    latest = std::max(latest, *f.deadline);
+  }
+  p.use_token = all;
+  if (all) p.token_deadline = latest;
+  if (p.fan) {
+    p.fan->started = true;
+    p.fan->cancellable = all;
+  }
+}
+
+void engine::finish_running_locked(pending& p, const response* ok, std::vector<pending>& out) {
+  if (p.fan) {
+    auto it = running_.find(key_of(p));
+    // Identity check: a later execution of the same key may have
+    // registered its own slot; never erase someone else's.
+    if (it != running_.end() && it->second == p.fan) running_.erase(it);
+    for (auto& w : p.fan->waiters) out.push_back(std::move(w));
+    p.fan->waiters.clear();
+    p.fan.reset();
+  }
+  for (auto& f : p.followers) out.push_back(std::move(f));
+  p.followers.clear();
+  if (ok) cache_insert_locked(key_of(p), *ok);
+}
+
+bool engine::sweep_entry_locked(pending& p, std::vector<pending>& dead,
+                                std::chrono::steady_clock::time_point now) {
+  for (auto it = p.followers.begin(); it != p.followers.end();) {
+    if (is_expired(*it, now)) {
+      dead.push_back(std::move(*it));
+      it = p.followers.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!is_expired(p, now)) return false;
+  if (p.followers.empty()) return true;
+  // The leader expired but other waiters still want this execution: hand
+  // the role (input, fingerprint, seed, remaining followers — all shared
+  // by key equality) to the first survivor and expire only the old
+  // leader's promise.
+  pending corpse;
+  corpse.solver = p.solver;
+  corpse.deadline = p.deadline;
+  corpse.prom = std::move(p.prom);
+  corpse.cb = std::move(p.cb);
+  dead.push_back(std::move(corpse));
+  pending& heir = p.followers.front();
+  p.prom = std::move(heir.prom);
+  p.cb = std::move(heir.cb);
+  p.deadline = heir.deadline;
+  p.followers.erase(p.followers.begin());
+  return false;
+}
+
 bool engine::pop_head_locked(std::vector<pending>& dead, pending& head) {
   auto now = std::chrono::steady_clock::now();
   // Every pop sweeps expired entries out of BOTH deques — not just the
@@ -134,11 +297,13 @@ bool engine::pop_head_locked(std::vector<pending>& dead, pending& head) {
   // batch deque might otherwise never be examined, leaving an expired
   // batch request unresolved (a hung future) while it pins bounded queue
   // capacity for work that can never run. O(queue) per pop, same bound
-  // the gather sweep already pays.
+  // the gather sweep already pays. The sweep is per-waiter: an entry with
+  // surviving dedup followers outlives its own leader's deadline.
   for (auto& q : queues_) {
     for (auto it = q.begin(); it != q.end();) {
-      if (is_expired(*it, now)) {
-        // Blown deadline while queued: drop without a pool lease.
+      if (sweep_entry_locked(*it, dead, now)) {
+        // Every waiter's deadline blew while queued: drop without a pool
+        // lease.
         dead.push_back(std::move(*it));
         it = q.erase(it);
       } else {
@@ -159,6 +324,27 @@ bool engine::pop_head_locked(std::vector<pending>& dead, pending& head) {
   return false;
 }
 
+bool engine::gather_locked(std::deque<pending>& q, const std::string& solver, priority cls,
+                           std::vector<pending>& batch, std::vector<pending>& dead) {
+  bool removed = false;
+  auto now = std::chrono::steady_clock::now();
+  for (auto it = q.begin(); it != q.end() && batch.size() < opts_.max_batch;) {
+    if (sweep_entry_locked(*it, dead, now)) {
+      dead.push_back(std::move(*it));
+      it = q.erase(it);
+      removed = true;
+    } else if (it->solver == solver && (!opts_.priority_classes || it->prio == cls)) {
+      batch.push_back(std::move(*it));
+      register_running_locked(batch.back());
+      it = q.erase(it);
+      removed = true;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 void engine::executor_loop() {
   for (;;) {
     std::vector<pending> batch;
@@ -172,6 +358,7 @@ void engine::executor_loop() {
       pending head;
       if (pop_head_locked(dead, head)) {
         batch.push_back(std::move(head));
+        register_running_locked(batch.back());
         // By value: growing `batch` reallocates and would invalidate a
         // reference into batch.front().
         const std::string solver = batch.front().solver;
@@ -187,40 +374,22 @@ void engine::executor_loop() {
         // entries encountered on the way are dropped leaselessly like at
         // pop time.
         std::deque<pending>& q = queues_[queue_index(cls)];
-        auto gather = [&] {
-          bool removed = false;
-          auto now = std::chrono::steady_clock::now();
-          for (auto it = q.begin(); it != q.end() && batch.size() < opts_.max_batch;) {
-            if (is_expired(*it, now)) {
-              dead.push_back(std::move(*it));
-              it = q.erase(it);
-              removed = true;
-            } else if (it->solver == solver &&
-                       (!opts_.priority_classes || it->prio == cls)) {
-              batch.push_back(std::move(*it));
-              it = q.erase(it);
-              removed = true;
-            } else {
-              ++it;
-            }
-          }
-          // Wake backpressured submitters NOW, not after the window
-          // closes: with a small queue, a window-waiting executor that
-          // just drained it is waiting for exactly the requests those
-          // submitters hold.
-          if (removed) not_full_.notify_all();
-        };
-        gather();
+        if (gather_locked(q, solver, cls, batch, dead)) not_full_.notify_all();
         if (opts_.batch_window.count() > 0) {
           auto window_end = std::chrono::steady_clock::now() + opts_.batch_window;
           while (batch.size() < opts_.max_batch && !stopping_) {
             if (not_empty_.wait_until(lk, window_end) == std::cv_status::timeout) {
-              gather();
+              if (gather_locked(q, solver, cls, batch, dead)) not_full_.notify_all();
               break;
             }
-            gather();
+            if (gather_locked(q, solver, cls, batch, dead)) not_full_.notify_all();
           }
         }
+        // The flush is decided: freeze each entry's cancellability and
+        // absorb window-time joiners. Post-seal joiners keep accumulating
+        // in the fanout (uncancellable flushes only) and are delivered at
+        // completion.
+        for (auto& p : batch) seal_for_flush_locked(p);
       }
     }
     not_full_.notify_all();
@@ -250,20 +419,22 @@ void engine::execute(std::vector<pending> batch) {
   inputs.reserve(batch.size());
   batch_options opts;
   opts.seeds.reserve(batch.size());
-  bool any_deadline = false;
+  bool any_token = false;
   for (auto& p : batch) {
     inputs.push_back(std::move(p.input));
     opts.seeds.push_back(p.seed);
-    if (p.deadline) any_deadline = true;
+    if (p.use_token) any_token = true;
   }
-  // Each deadline'd item carries its own token, so a blown deadline
+  // Each cancellable item carries its own token, so a blown deadline
   // cancels exactly that item at its next phase boundary (or skips it
   // before it starts) while batchmates with live or absent deadlines
-  // complete normally — one expired request never fails its flush.
-  if (any_deadline) {
+  // complete normally — one expired request never fails its flush. The
+  // cancellability decision itself was sealed under m_ (an item with any
+  // deadline-less waiter runs to completion; see seal_for_flush_locked).
+  if (any_token) {
     opts.tokens.reserve(batch.size());
     for (auto& p : batch)
-      opts.tokens.push_back(p.deadline ? cancel_token::at(*p.deadline) : cancel_token{});
+      opts.tokens.push_back(p.use_token ? cancel_token::at(p.token_deadline) : cancel_token{});
   }
 
   auto t0 = std::chrono::steady_clock::now();
@@ -279,15 +450,37 @@ void engine::execute(std::vector<pending> batch) {
     batches_.fetch_add(1, std::memory_order_relaxed);
     if (batch.size() > 1) batched_.fetch_add(batch.size(), std::memory_order_relaxed);
     for (; delivered < batch.size(); ++delivered) {
+      pending& p = batch[delivered];
       response r;
       r.result = std::move(br.items[delivered]);
-      if (r.result.cancelled()) {
-        r.error = "cancelled: deadline exceeded mid-run";
-        cancelled_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        completed_.fetch_add(1, std::memory_order_relaxed);
+      const bool ok_item = !r.result.cancelled();
+      if (!ok_item) r.error = "cancelled: deadline exceeded mid-run";
+      // Unregister the dedup slot, collect every waiter, and cache a
+      // successful envelope — atomically w.r.t. new submissions, so a
+      // duplicate arriving now either finds the cache entry or queues a
+      // fresh execution; it can never join a completed fanout.
+      std::vector<pending> waiters;
+      {
+        sync::lock_guard<sync::mutex> lk(m_);
+        finish_running_locked(p, ok_item ? &r : nullptr, waiters);
       }
-      deliver(batch[delivered], std::move(r));
+      // Fan the envelope out: one execution, every waiter answered. A
+      // waiter whose deadline lapsed mid-run still gets the result — the
+      // work is already paid for; deadlines shed queued work, not
+      // finished envelopes.
+      for (auto& w : waiters) {
+        response copy = r;
+        if (ok_item)
+          completed_.fetch_add(1, std::memory_order_relaxed);
+        else
+          cancelled_.fetch_add(1, std::memory_order_relaxed);
+        deliver(w, std::move(copy));
+      }
+      if (ok_item)
+        completed_.fetch_add(1, std::memory_order_relaxed);
+      else
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+      deliver(p, std::move(r));
     }
   } catch (const std::exception& e) {
     // Admission-time validation makes this unreachable for well-formed
@@ -303,8 +496,20 @@ void engine::execute(std::vector<pending> batch) {
 }
 
 void engine::fail_from(std::vector<pending>& batch, size_t first, const char* what) {
-  failed_.fetch_add(batch.size() - first, std::memory_order_relaxed);
   for (size_t i = first; i < batch.size(); ++i) {
+    // A genuinely failed flush is a shared fact: every deduped waiter
+    // gets the same error its leader does (and nothing is cached).
+    std::vector<pending> waiters;
+    {
+      sync::lock_guard<sync::mutex> lk(m_);
+      finish_running_locked(batch[i], nullptr, waiters);
+    }
+    failed_.fetch_add(1 + waiters.size(), std::memory_order_relaxed);
+    for (auto& w : waiters) {
+      response r;
+      r.error = what;
+      deliver(w, std::move(r));
+    }
     response r;
     r.error = what;
     deliver(batch[i], std::move(r));
@@ -341,6 +546,13 @@ void engine::stop(bool drain) {
   not_empty_.notify_all();
   not_full_.notify_all();
   for (auto& p : orphans) {
+    // Dedup waiters orphan along with their leader.
+    for (auto& f : p.followers) {
+      response r;
+      r.error = "engine stopped";
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      deliver(f, std::move(r));
+    }
     response r;
     r.error = "engine stopped";
     failed_.fetch_add(1, std::memory_order_relaxed);
@@ -360,6 +572,9 @@ engine_stats engine::stats() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched = batched_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.deduped = deduped_.load(std::memory_order_relaxed);
   s.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
   s.exec_seconds = static_cast<double>(exec_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   sync::lock_guard<sync::mutex> lk(m_);
@@ -377,6 +592,9 @@ std::string to_json(const engine_stats& s) {
   w.member("cancelled", s.cancelled);
   w.member("batches", s.batches);
   w.member("batched", s.batched);
+  w.member("cache_hits", s.cache_hits);
+  w.member("cache_misses", s.cache_misses);
+  w.member("deduped", s.deduped);
   w.member("peak_inflight", static_cast<uint64_t>(s.peak_inflight));
   w.member("queue_depth", static_cast<uint64_t>(s.queue_depth));
   w.member("exec_seconds", s.exec_seconds);

@@ -29,6 +29,16 @@
 //    its own seed (batch_options::seeds), so a coalesced submit returns
 //    bit-for-bit what a standalone registry::run under that seed returns.
 //
+//  * Content addressing (dedup + result cache). Every run is deterministic
+//    given (solver, input, seed), so the engine fingerprints each input at
+//    admission (core/fingerprint.h) and treats (solver, fingerprint, seed)
+//    as the address of its result. An identical submission collapses onto
+//    the existing queued/running execution as a *waiter* — one pool lease,
+//    the envelope fanned out to everyone — and a bounded LRU of recent
+//    envelopes answers repeat traffic at submit time with zero queue slots
+//    and zero leases (`response::cached`). See engine_options::cache_entries
+//    and the cache_hits/cache_misses/deduped counters.
+//
 //  * QoS. Requests carry a priority class and an optional deadline.
 //    Interactive requests pop before batch requests (FIFO within a
 //    class), coalescing never crosses classes, a request whose deadline
@@ -54,6 +64,9 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <list>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -63,6 +76,7 @@
 
 #include "core/annotations.h"
 #include "core/context.h"
+#include "core/fingerprint.h"
 #include "core/registry.h"
 #include "core/result.h"
 
@@ -109,6 +123,11 @@ struct request {
 struct response {
   run_result<solver_value> result{};  // filled when ok()
   std::string error;                  // empty = success
+  // True when the envelope was answered from the result cache: a copy of
+  // a previous execution's envelope (including its seconds/stats — they
+  // describe the run that produced the bytes), zero pool leases. Deduped
+  // waiters are NOT marked: their envelope comes from a live execution.
+  bool cached = false;
   bool ok() const { return error.empty(); }
 };
 
@@ -130,6 +149,15 @@ struct engine_options {
   // classes never share a flush. Off: one FIFO queue, classes ignored —
   // the A/B baseline bench/serving_qos measures against.
   bool priority_classes = true;
+  // Bounded LRU of recent (solver, input fingerprint, seed) → response
+  // envelopes. A repeat submission is answered at admission with a copy
+  // of the stored envelope (response::cached), zero queue slots and zero
+  // pool leases; determinism makes staleness a non-question (the cached
+  // envelope IS what a re-run would produce). Entries hold full payloads,
+  // so the memory bound is entries × payload size — size for the
+  // deployment's input scale. 0 = cache off (in-flight dedup stays on;
+  // it needs no storage).
+  size_t cache_entries = 256;
   // Execution profile every batch runs under: backend, grain, pivot, and
   // the base seed anonymous requests derive from. ctx.workers is ignored
   // in favor of workers_per_run.
@@ -137,8 +165,12 @@ struct engine_options {
 };
 
 struct engine_stats {
-  uint64_t submitted = 0;     // requests admitted to the queue
-  uint64_t completed = 0;     // responses delivered with ok()
+  uint64_t submitted = 0;     // requests admitted to the queue as entries
+                              // (cache hits and deduped waiters resolve
+                              // without consuming a queue slot)
+  uint64_t completed = 0;     // responses delivered with ok(), including
+                              // cache hits and fanned-out waiters — may
+                              // exceed submitted under repeat traffic
   uint64_t failed = 0;        // responses delivered with an error (not QoS)
   uint64_t expired = 0;       // deadline passed while queued: dropped at pop
                               // (or rejected at submit), zero pool leases
@@ -147,6 +179,11 @@ struct engine_stats {
                               // item was skipped inside its leased batch)
   uint64_t batches = 0;       // run_batch flushes (== pool leases taken)
   uint64_t batched = 0;       // requests that shared a flush with >= 1 other
+  uint64_t cache_hits = 0;    // answered from the LRU at submit: zero queue
+                              // slots, zero pool leases (response::cached)
+  uint64_t cache_misses = 0;  // cache enabled but held no entry for the key
+  uint64_t deduped = 0;       // collapsed onto an identical queued/running
+                              // execution as a waiter (zero extra leases)
   unsigned peak_inflight = 0; // high-water mark of concurrent run_scopes
   size_t queue_depth = 0;     // requests waiting right now
   // Summed wall-clock of the run_batch flushes themselves (batch window
@@ -206,15 +243,49 @@ class engine {
   const context& execution_context() const { return exec_ctx_; }
 
  private:
+  struct pending;
+
+  // Mid-run attach slot for in-flight dedup: while a (solver, fingerprint,
+  // seed) execution sits in its batch window or runs, running_ maps its
+  // key here so late identical submissions can still join. Every field is
+  // protected by m_ (the attribute syntax cannot name engine::m_ from a
+  // nested struct, so the guard is by construction: all access sites hold
+  // it).
+  struct fanout {
+    bool started = false;      // flush launched; `cancellable` is final
+    bool cancellable = false;  // flush carries a cancel token: no more joins
+    std::vector<pending> waiters;
+  };
+
   struct pending {
     std::string solver;
     problem_input input;
+    fingerprint fp;  // canonical input fingerprint (computed at admission)
     uint64_t seed = 0;
     std::optional<std::chrono::steady_clock::time_point> deadline;
     priority prio = priority::interactive;
     std::promise<response> prom;
     std::function<void(response)> cb;  // when set, used instead of prom
+    // Deduped waiters riding this entry's execution (leaders only; a
+    // waiter's own list is empty). Mutated under m_; the executing thread
+    // owns it after seal_for_flush_locked.
+    std::vector<pending> followers;
+    // This entry's running_ slot, while registered (executing entries only).
+    std::shared_ptr<fanout> fan;
+    // Flush decision (seal_for_flush_locked): carry a cancel token iff
+    // every waiter has a deadline; it fires at the latest one.
+    bool use_token = false;
+    std::chrono::steady_clock::time_point token_deadline{};
   };
+
+  // Content address of a response — the cache and dedup key.
+  struct result_key {
+    std::string solver;
+    fingerprint fp;
+    uint64_t seed = 0;
+    friend auto operator<=>(const result_key&, const result_key&) = default;
+  };
+  static result_key key_of(const pending& p) { return {p.solver, p.fp, p.seed}; }
 
   std::future<response> enqueue(request&& req, std::function<void(response)> cb);
   void executor_loop();
@@ -226,6 +297,38 @@ class engine {
   // Resolve `p` with an "expired" error (deadline passed before any pool
   // lease was taken) and count it.
   void deliver_expired(pending& p);
+
+  // ---- cache + dedup helpers; the m_ requirement is machine-checked ---------
+  // LRU lookup; on hit copies the stored envelope into `out` with
+  // cached=true and touches the entry.
+  bool cache_lookup_locked(const result_key& k, response& out) PP_REQUIRES(m_);
+  // Insert a successful envelope, evicting the least-recently-used entry
+  // past the bound. Cancelled/errored responses are never inserted.
+  void cache_insert_locked(const result_key& k, const response& r) PP_REQUIRES(m_);
+  // Collapse an identical (solver, fingerprint, seed) submission onto an
+  // existing queued or joinable running execution; true = `w` was consumed.
+  bool attach_dup_locked(pending& w) PP_REQUIRES(m_);
+  // Make a just-popped entry joinable while it waits out the batch window
+  // and runs: running_[key] → a fresh fanout (skipped if the key is
+  // already running — the second execution simply collects no joiners).
+  void register_running_locked(pending& p) PP_REQUIRES(m_);
+  // Freeze an entry's flush decision: absorb window-time joiners into
+  // `followers`, decide cancellability (all waiters deadline'd → token at
+  // the latest deadline), and mark the fanout started.
+  void seal_for_flush_locked(pending& p) PP_REQUIRES(m_);
+  // Completion bookkeeping for one flushed entry: unregister its running_
+  // slot, move every remaining waiter into `out` for delivery, and cache
+  // the envelope (successful results only — a cancelled sole execution
+  // must not poison future hits).
+  void finish_running_locked(pending& p, const response* ok, std::vector<pending>& out)
+      PP_REQUIRES(m_);
+  // Per-waiter deadline sweep of one queued entry: expired followers move
+  // into `dead`, an expired leader hands the execution role to its first
+  // surviving follower (work other waiters still want is never dropped).
+  // True = every waiter expired; the caller erases the entry after moving
+  // it into `dead`.
+  bool sweep_entry_locked(pending& p, std::vector<pending>& dead,
+                          std::chrono::steady_clock::time_point now) PP_REQUIRES(m_);
 
   // ---- queue helpers; the m_ requirement is machine-checked -----------------
   // Which deque a pending lands in: its class when priority_classes, the
@@ -243,6 +346,14 @@ class engine {
   // — moving every already-expired entry encountered into `dead`. Returns
   // false when nothing runnable is queued.
   bool pop_head_locked(std::vector<pending>& dead, pending& head) PP_REQUIRES(m_);
+  // Sweep-and-coalesce into `batch` every queued entry of `q` matching
+  // the flush head (same solver; same class when QoS is on), up to
+  // max_batch, registering each as joinable. True = entries left the
+  // queue, so the caller wakes backpressured submitters NOW — with a
+  // small queue, a window-waiting executor that just drained it is
+  // waiting for exactly the requests those submitters hold.
+  bool gather_locked(std::deque<pending>& q, const std::string& solver, priority cls,
+                     std::vector<pending>& batch, std::vector<pending>& dead) PP_REQUIRES(m_);
 
   engine_options opts_;
   context exec_ctx_;  // opts_.ctx with workers = resolved workers_per_run
@@ -251,9 +362,19 @@ class engine {
   std::condition_variable_any not_empty_;  // executors wait here
   std::condition_variable_any not_full_;   // blocked submitters wait here
   // [0] = batch class, [1] = interactive; everything in [0] when
-  // priority_classes is off. Capacity bounds the sum.
+  // priority_classes is off. Capacity bounds the sum of *entries*; deduped
+  // waiters ride their leader's slot and are not counted.
   std::deque<pending> queues_[2] PP_GUARDED_BY(m_);
   bool stopping_ PP_GUARDED_BY(m_) = false;
+  // Result cache: LRU list (front = most recent) + key index into it.
+  struct cache_entry {
+    result_key key;
+    response resp;
+  };
+  std::list<cache_entry> lru_ PP_GUARDED_BY(m_);
+  std::map<result_key, std::list<cache_entry>::iterator> cache_ PP_GUARDED_BY(m_);
+  // In-flight dedup: keys currently in a batch window or executing.
+  std::map<result_key, std::shared_ptr<fanout>> running_ PP_GUARDED_BY(m_);
 
   std::vector<std::thread> executors_;
   std::once_flag join_once_;
@@ -268,6 +389,9 @@ class engine {
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> deduped_{0};
   std::atomic<uint64_t> exec_nanos_{0};
 };
 

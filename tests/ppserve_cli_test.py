@@ -14,6 +14,12 @@ Covers the PR-5 bugfixes end to end, against the real binary:
      per-session line index did exactly that); the seed set is exactly
      derive_seed(base, 0..k-1), reproducible from --seed alone.
   4. deadline_ms / priority / stats request fields round-trip.
+
+And the PR-7 result cache end to end:
+  5. A repeat (solver, n, seed) request is answered from the result cache
+     ("cached": true, identical result envelope); --cache-off disables
+     that; --cache-entries validates like every other count flag (0 is
+     spelled --cache-off, so 0 and negatives exit 2).
 """
 import json
 import random
@@ -49,7 +55,8 @@ def check(cond, msg):
 # ---- 1. flag validation ------------------------------------------------------
 for flags in (["--queue", "-1"], ["--max-batch", "-3"], ["--batch-window-us", "-5"],
               ["--max-inflight", "-2"], ["--workers-per-run", "-1"], ["--max-n", "0"],
-              ["--queue", "banana"]):
+              ["--queue", "banana"], ["--cache-entries", "-1"], ["--cache-entries", "0"],
+              ["--cache-entries", "banana"]):
     rc, out, err = run(flags)
     check(rc == 2, f"{' '.join(flags)} rejected with exit 2 (got {rc}, stderr: {err.strip()!r})")
 
@@ -149,5 +156,46 @@ check(stats["ok"] and all(k in stats["stats"] for k in
 # The snapshot is taken at parse time, after both well-formed requests were
 # admitted (the reader feeds lines in order) but possibly before they ran.
 check(stats["stats"]["submitted"] == 2, f"two admitted before the stats snapshot ({stats})")
+
+# ---- 5. result cache ---------------------------------------------------------
+# Interactive exchange (write one line, read its response) so the first
+# request has COMPLETED before the repeat is submitted — a pipelined repeat
+# would collapse via in-flight dedup instead of hitting the cache.
+
+
+def interactive_session(extra_flags, exchanges):
+    proc = subprocess.Popen([PPSERVE] + extra_flags, stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+    out = []
+    try:
+        for req in exchanges:
+            proc.stdin.write((json.dumps(req) + "\n").encode())
+            proc.stdin.flush()
+            out.append(json.loads(proc.stdout.readline()))
+    finally:
+        proc.stdin.close()
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    return out
+
+REQ = {"solver": "lis/parallel", "n": 500, "seed": 9}
+r1, r2, st = interactive_session(
+    ["--seed", str(BASE_SEED)], [REQ, REQ, {"stats": True}])
+check(r1["ok"] and r1["cached"] is False, f"first request executed ({r1.get('cached')})")
+check(r2["ok"] and r2["cached"] is True, f"repeat request answered from cache ({r2.get('cached')})")
+check(r1["result"] == r2["result"], "cached result envelope identical to the executed one")
+check(all(k in st["stats"] for k in ("cache_hits", "cache_misses", "deduped")),
+      f"stats expose the cache counters ({st})")
+check(st["stats"]["cache_hits"] == 1 and st["stats"]["cache_misses"] == 1,
+      f"one miss then one hit ({st})")
+
+r1, r2, st = interactive_session(
+    ["--seed", str(BASE_SEED), "--cache-off"], [REQ, REQ, {"stats": True}])
+check(r1["ok"] and r1["cached"] is False and r2["ok"] and r2["cached"] is False,
+      "--cache-off: repeat executed again")
+check(st["stats"]["cache_hits"] == 0 and st["stats"]["cache_misses"] == 0,
+      f"--cache-off: no cache counters tick ({st})")
 
 print("ALL PASS")

@@ -655,6 +655,381 @@ TEST(Serve, AnonymousSeedsUniqueAcrossThreads) {
   EXPECT_EQ(uniq, want);
 }
 
+// ---- Result cache & in-flight dedup -----------------------------------------
+
+TEST(Serve, CacheHitTakesNoLeaseAndIsBitIdentical) {
+  // A repeat (solver, input-fingerprint, seed) submission is answered from
+  // the LRU result cache: zero pool leases, `cached` set, and an envelope
+  // byte-identical to the executed one.
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_seed(5);
+  engine eng(opt);
+
+  auto in = registry::instance().make_input("lis", 500, 9);
+  auto& cache = pp::detail::pool_cache::instance();
+  uint64_t leases_before = cache.acquires();
+
+  response r1 = eng.submit({"lis/parallel", in, 42}).get();
+  response r2 = eng.submit({"lis/parallel", in, 42}).get();
+  uint64_t leases = cache.acquires() - leases_before;
+  auto st = eng.stats();
+  eng.stop();
+
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_FALSE(r1.cached);
+  EXPECT_TRUE(r2.cached);
+  EXPECT_EQ(pp::to_json(r1.result), pp::to_json(r2.result))
+      << "cached envelope must be byte-identical to the executed one";
+  EXPECT_EQ(leases, 1u) << "the cache hit must not cost a pool lease";
+  EXPECT_EQ(st.batches, 1u);
+  EXPECT_EQ(st.cache_hits, 1u);
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.deduped, 0u);
+  EXPECT_EQ(st.submitted, 1u) << "a cache hit never enters the queue";
+  EXPECT_EQ(st.completed, 2u) << "completed counts delivered responses";
+
+  // The stats envelope exposes the new counters (pplint's json-fields rule
+  // keys on the same emission).
+  std::string js = pp::serve::to_json(st);
+  for (const char* key : {"\"cache_hits\"", "\"cache_misses\"", "\"deduped\""})
+    EXPECT_NE(js.find(key), std::string::npos) << key;
+}
+
+TEST(Serve, CacheOffExecutesEveryRepeat) {
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.cache_entries = 0;  // dedup stays on; the cache is gone
+  opt.ctx = native2().with_seed(5);
+  engine eng(opt);
+
+  auto in = registry::instance().make_input("lis", 500, 9);
+  response r1 = eng.submit({"lis/parallel", in, 42}).get();
+  response r2 = eng.submit({"lis/parallel", in, 42}).get();
+  auto st = eng.stats();
+  eng.stop();
+
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r1.cached);
+  EXPECT_FALSE(r2.cached);
+  EXPECT_EQ(pp::score_of(r1.result.value), pp::score_of(r2.result.value));
+  EXPECT_EQ(st.batches, 2u) << "cache off: both repeats execute";
+  EXPECT_EQ(st.cache_hits, 0u);
+  EXPECT_EQ(st.cache_misses, 0u) << "misses are not counted when the cache is off";
+}
+
+TEST(Serve, ConcurrentIdenticalSubmissionsExecuteOnce) {
+  // Acceptance: N identical concurrent submissions collapse onto ONE
+  // execution with one pool lease; every waiter gets the identical
+  // envelope, and a later repeat is served from the cache leaselessly.
+  engine_options opt;
+  opt.max_inflight_runs = 1;  // keep the executor busy with a blocker
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_seed(5);
+  engine eng(opt);
+
+  auto big = registry::instance().make_input("lis", 12'000, 9);
+  auto small = registry::instance().make_input("lis", 500, 9);
+  auto& cache = pp::detail::pool_cache::instance();
+  uint64_t leases_before = cache.acquires();
+
+  auto blocker = eng.submit({"lis/parallel", big, 1});
+  std::this_thread::sleep_for(20ms);  // executor now busy with the blocker
+
+  constexpr size_t kN = 4;
+  std::vector<std::future<response>> futs;
+  for (size_t i = 0; i < kN; ++i) futs.push_back(eng.submit({"lis/parallel", small, 42}));
+  std::vector<response> rs;
+  for (auto& f : futs) rs.push_back(f.get());
+  EXPECT_TRUE(blocker.get().ok());
+  uint64_t leases = cache.acquires() - leases_before;
+  auto st = eng.stats();
+
+  EXPECT_EQ(st.deduped, kN - 1) << "duplicates must attach, not re-queue";
+  EXPECT_EQ(st.submitted, 2u) << "blocker + one leader entered the queue";
+  EXPECT_EQ(st.batches, 2u) << "blocker flush + ONE shared execution";
+  EXPECT_EQ(leases, st.batches) << "deduped waiters must not cost pool leases";
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(rs[i].ok()) << rs[i].error;
+    EXPECT_FALSE(rs[i].cached) << "deduped waiters are fanned out, not cache hits";
+    EXPECT_EQ(pp::to_json(rs[i].result), pp::to_json(rs[0].result)) << i;
+  }
+  // Repeat traffic after completion: answered from the cache, still no
+  // extra lease.
+  response again = eng.submit({"lis/parallel", small, 42}).get();
+  eng.stop();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(pp::to_json(again.result), pp::to_json(rs[0].result));
+  EXPECT_EQ(cache.acquires() - leases_before, leases) << "cache hit cost a lease";
+
+  // (The standalone comparison leases its own pool, so it runs after the
+  // final lease accounting.)
+  auto solo = registry::run("lis/parallel", small, eng.execution_context().with_seed(42));
+  EXPECT_EQ(pp::score_of(rs[0].result.value), pp::score_of(solo.value));
+}
+
+TEST(Serve, CachedAndDedupedMatchStandaloneForEverySolver) {
+  // For every registered solver: a deduped pair fans out one execution and
+  // a later repeat is a cache hit — and both envelopes match a standalone
+  // registry::run with the same seed, solver by solver.
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.queue_capacity = 256;
+  opt.ctx = native2().with_seed(17);
+  engine eng(opt);
+
+  auto& reg = registry::instance();
+  std::map<std::string, pp::problem_input> inputs;
+  std::vector<std::string> names;
+  for (const auto& s : reg.solvers()) {
+    names.push_back(s.name);
+    if (!inputs.count(s.problem)) inputs.emplace(s.problem, reg.make_input(s.problem, 300, 23));
+  }
+
+  // Blocker first so every identical pair is queued concurrently and the
+  // second of each pair attaches to the first (in-flight dedup).
+  auto big = registry::instance().make_input("lis", 12'000, 9);
+  auto blocker = eng.submit({"lis/parallel", big, 1});
+  std::this_thread::sleep_for(20ms);
+
+  std::vector<std::pair<std::future<response>, std::future<response>>> pairs;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const auto& in = inputs.at(reg.info(names[i])->problem);
+    uint64_t seed = 1000 + i;
+    pairs.emplace_back(eng.submit({names[i], in, seed}), eng.submit({names[i], in, seed}));
+  }
+  std::vector<std::pair<response, response>> got;
+  for (auto& [a, b] : pairs) got.emplace_back(a.get(), b.get());
+  EXPECT_TRUE(blocker.get().ok());
+  auto st = eng.stats();
+  EXPECT_EQ(st.deduped, names.size()) << "every pair's second submission must attach";
+
+  // Cached repeats (resolve before the standalone runs below so no engine
+  // run_scope overlaps the main thread's).
+  std::vector<response> cached;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const auto& in = inputs.at(reg.info(names[i])->problem);
+    cached.push_back(eng.submit({names[i], in, 1000 + i}).get());
+  }
+  eng.stop();
+
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto& [ra, rb] = got[i];
+    ASSERT_TRUE(ra.ok()) << names[i] << ": " << ra.error;
+    ASSERT_TRUE(rb.ok()) << names[i] << ": " << rb.error;
+    EXPECT_EQ(pp::to_json(ra.result), pp::to_json(rb.result))
+        << names[i] << ": fanned-out waiters must get the identical envelope";
+    ASSERT_TRUE(cached[i].ok()) << names[i] << ": " << cached[i].error;
+    EXPECT_TRUE(cached[i].cached) << names[i];
+    EXPECT_EQ(pp::to_json(cached[i].result), pp::to_json(ra.result)) << names[i];
+
+    const auto& in = inputs.at(reg.info(names[i])->problem);
+    auto solo = registry::run(names[i], in, eng.execution_context().with_seed(1000 + i));
+    EXPECT_EQ(pp::score_of(ra.result.value), pp::score_of(solo.value)) << names[i];
+    EXPECT_EQ(pp::summary_of(ra.result.value), pp::summary_of(solo.value)) << names[i];
+    EXPECT_EQ(ra.result.input_fp, solo.input_fp) << names[i];
+  }
+}
+
+TEST(Serve, WaiterDeadlineNeverPoisonsSharedExecution) {
+  // One waiter's deadline must never cancel (or fail) the execution the
+  // other waiters share — in either direction.
+  auto small = registry::instance().make_input("lis", 300, 9);
+  auto big = registry::instance().make_input("lis", 12'000, 9);
+
+  // (a) Follower with a deadline attaches to a deadline-less leader: the
+  // follower expires while queued, the leader's execution is untouched.
+  {
+    engine_options opt;
+    opt.max_inflight_runs = 1;
+    opt.workers_per_run = 2;
+    opt.batch_window = std::chrono::microseconds{0};
+    opt.max_batch = 1;
+    opt.ctx = native2().with_seed(5);
+    engine eng(opt);
+    auto blocker = eng.submit({"lis/parallel", big, 1});
+    std::this_thread::sleep_for(20ms);
+
+    auto leader = eng.submit({"lis/parallel", small, 60});
+    request dup;
+    dup.solver = "lis/parallel";
+    dup.input = small;
+    dup.seed = 60;
+    dup.deadline = std::chrono::steady_clock::now() + 1ms;
+    auto follower = eng.submit(std::move(dup));
+    std::this_thread::sleep_for(10ms);  // follower's deadline blows while queued
+
+    response rf = follower.get();
+    response rl = leader.get();
+    EXPECT_TRUE(blocker.get().ok());
+    auto st = eng.stats();
+    eng.stop();
+
+    EXPECT_FALSE(rf.ok());
+    EXPECT_NE(rf.error.find("expired"), std::string::npos) << rf.error;
+    ASSERT_TRUE(rl.ok()) << rl.error;
+    auto solo = registry::run("lis/parallel", small, eng.execution_context().with_seed(60));
+    EXPECT_EQ(pp::score_of(rl.result.value), pp::score_of(solo.value));
+    EXPECT_EQ(st.expired, 1u);
+    EXPECT_EQ(st.cancelled, 0u) << "the shared execution must not be cancelled";
+  }
+
+  // (b) The LEADER's deadline blows while queued: its promise expires, but
+  // the deadline-less follower inherits the execution and completes.
+  {
+    engine_options opt;
+    opt.max_inflight_runs = 1;
+    opt.workers_per_run = 2;
+    opt.batch_window = std::chrono::microseconds{0};
+    opt.max_batch = 1;
+    opt.ctx = native2().with_seed(5);
+    engine eng(opt);
+    auto blocker = eng.submit({"lis/parallel", big, 1});
+    std::this_thread::sleep_for(20ms);
+
+    request doomed;
+    doomed.solver = "lis/parallel";
+    doomed.input = small;
+    doomed.seed = 61;
+    doomed.deadline = std::chrono::steady_clock::now() + 5ms;
+    auto leader = eng.submit(std::move(doomed));
+    auto follower = eng.submit({"lis/parallel", small, 61});
+    std::this_thread::sleep_for(15ms);  // leader's deadline blows while queued
+
+    response rl = leader.get();
+    response rf = follower.get();
+    EXPECT_TRUE(blocker.get().ok());
+    auto st = eng.stats();
+    eng.stop();
+
+    EXPECT_FALSE(rl.ok());
+    EXPECT_NE(rl.error.find("expired"), std::string::npos) << rl.error;
+    ASSERT_TRUE(rf.ok()) << "the surviving waiter must inherit the execution: " << rf.error;
+    auto solo = registry::run("lis/parallel", small, eng.execution_context().with_seed(61));
+    EXPECT_EQ(pp::score_of(rf.result.value), pp::score_of(solo.value));
+    EXPECT_EQ(st.expired, 1u);
+    EXPECT_EQ(st.cancelled, 0u);
+  }
+}
+
+TEST(Serve, CancelledSoleExecutionIsNotCached) {
+  // A cancelled result must never be served to later traffic: resubmitting
+  // the same (solver, fingerprint, seed) after a mid-run cancellation
+  // executes fresh and succeeds.
+  auto in = registry::instance().make_input("lis", 8'000, 11);
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_seed(5);
+  engine eng(opt);
+
+  auto full = registry::run("lis/parallel", in, eng.execution_context().with_seed(1));
+  ASSERT_GT(full.seconds, 0.05) << "input too small to observe a mid-run cancel";
+
+  request req;
+  req.solver = "lis/parallel";
+  req.input = in;
+  req.seed = 1;
+  req.deadline = std::chrono::steady_clock::now() + 20ms;
+  response r1 = eng.submit(std::move(req)).get();
+  EXPECT_FALSE(r1.ok());
+  EXPECT_NE(r1.error.find("cancelled"), std::string::npos) << r1.error;
+
+  response r2 = eng.submit({"lis/parallel", in, 1}).get();
+  auto st = eng.stats();
+  eng.stop();
+
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_FALSE(r2.cached) << "a cancelled execution must not seed the cache";
+  EXPECT_EQ(st.cache_hits, 0u);
+  EXPECT_EQ(st.batches, 2u) << "the resubmission must execute fresh";
+  EXPECT_EQ(pp::score_of(r2.result.value), pp::score_of(full.value));
+}
+
+TEST(Serve, RunningCancellableExecutionRefusesJoiners) {
+  // A duplicate arriving while a CANCELLABLE twin is mid-run must not
+  // attach (the shared token could poison it); it queues its own execution
+  // instead — correct, just uncollapsed.
+  auto in = registry::instance().make_input("lis", 8'000, 13);
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 2;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.ctx = native2().with_seed(5);
+  engine eng(opt);
+
+  auto full = registry::run("lis/parallel", in, eng.execution_context().with_seed(7));
+  ASSERT_GT(full.seconds, 0.05) << "input too small for the join to land mid-run";
+
+  request first;
+  first.solver = "lis/parallel";
+  first.input = in;
+  first.seed = 7;
+  first.deadline = std::chrono::steady_clock::now() + 10s;  // cancellable, never fires
+  auto f1 = eng.submit(std::move(first));
+  std::this_thread::sleep_for(20ms);  // first is now running under its token
+  auto f2 = eng.submit({"lis/parallel", in, 7});  // no deadline
+
+  response r1 = f1.get();
+  response r2 = f2.get();
+  auto st = eng.stats();
+  eng.stop();
+
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(st.deduped, 0u) << "must not join a cancellable mid-run execution";
+  EXPECT_EQ(st.batches, 2u);
+  EXPECT_EQ(pp::score_of(r1.result.value), pp::score_of(r2.result.value));
+  EXPECT_EQ(pp::score_of(r1.result.value), pp::score_of(full.value));
+}
+
+TEST(Serve, LruEvictionHonorsCacheBound) {
+  engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 1;
+  opt.batch_window = std::chrono::microseconds{0};
+  opt.max_batch = 1;
+  opt.cache_entries = 2;
+  opt.ctx = native2().with_workers(1).with_seed(5);
+  engine eng(opt);
+
+  std::vector<pp::problem_input> ins;
+  for (uint64_t s = 1; s <= 3; ++s) ins.push_back(registry::instance().make_input("lis", 200, s));
+
+  // Fill: A, B, C -> LRU order [C, B], A evicted.
+  for (size_t i = 0; i < 3; ++i) EXPECT_TRUE(eng.submit({"lis/parallel", ins[i], 9}).get().ok());
+  // A must re-execute (evicted) -> [A, C]; then C is still a hit.
+  response ra = eng.submit({"lis/parallel", ins[0], 9}).get();
+  response rc = eng.submit({"lis/parallel", ins[2], 9}).get();
+  auto st = eng.stats();
+  eng.stop();
+
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_FALSE(ra.cached) << "oldest entry must have been evicted at the bound";
+  EXPECT_TRUE(rc.cached);
+  EXPECT_EQ(st.cache_hits, 1u);
+  EXPECT_EQ(st.cache_misses, 4u);
+  EXPECT_EQ(st.batches, 4u);
+}
+
 TEST(Serve, NoScopeRaceConflicts) {
   // Concurrent executors share one execution profile, so the context
   // scope-race detector must stay quiet under parallel serving load.

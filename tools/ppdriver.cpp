@@ -4,6 +4,8 @@
 //   ppdriver problems                  # all problems + default input descriptors
 //   ppdriver run <solver> [options]    # generate an input, run, print the envelope
 //   ppdriver batch <solver> [options]  # generate K inputs, run them as one batch
+//   ppdriver golden [--n N] [--seed S] # print the golden-result table rows
+//                                      # (one per solver) for tests/golden_results.inc
 //
 // shared options:
 //   --n N              input size (default 100000)
@@ -49,8 +51,9 @@ int usage(const char* argv0) {
                "                         [--repeats R] [--json]\n"
                "       %s batch <solver> [--count K] [--n N] [--seed S] [--backend B]\n"
                "                         [--workers W] [--grain G] [--pivot rightmost|random]\n"
-               "                         [--order as_given|shuffled] [--json]\n",
-               argv0, argv0, argv0);
+               "                         [--order as_given|shuffled] [--json]\n"
+               "       %s golden         [--n N] [--seed S]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -164,6 +167,7 @@ void print_envelope_text(const pp::run_result<pp::solver_value>& r, const std::s
   std::printf("backend  = %s (workers = %u, grain = %zu, pivot = %s)\n",
               std::string(pp::backend_name(r.backend)).c_str(), r.workers, ctx.grain,
               pp::pivot_policy_name(ctx.pivot));
+  std::printf("input_fp = %s\n", r.input_fp.hex().c_str());
   std::printf("result   = %s\n", pp::summary_of(r.value).c_str());
   std::printf("score    = %lld\n", static_cast<long long>(pp::score_of(r.value)));
 }
@@ -256,6 +260,54 @@ int cmd_batch(int argc, char** argv) {
   return 0;
 }
 
+// The committed fingerprint-stability table. For every registered solver:
+// build the problem's default input (n, seed), fingerprint it, solve it
+// sequentially, and print one initializer row for tests/golden_results.inc.
+// tests/test_fingerprint.cpp rebuilds the same inputs and verifies both the
+// fingerprint hex (canonical-bytes stability) and the score (the paper's
+// determinism property: the answer depends on the input and seed only, not
+// the backend or schedule). Sequential execution keeps generation cheap and
+// machine-independent; any backend must reproduce the same scores.
+int cmd_golden(int argc, char** argv) {
+  size_t n = 256;
+  uint64_t seed = 42;
+  for (int i = 2; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--n") == 0) {
+      n = static_cast<size_t>(std::strtoull(need("--n"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], argv[i]);
+      return 2;
+    }
+  }
+  auto& reg = pp::registry::instance();
+  std::printf("// Golden (solver, n, seed, input fingerprint, score) rows — included by\n");
+  std::printf("// tests/test_fingerprint.cpp. Any row changing means either the canonical\n");
+  std::printf("// serialization changed (bump kFingerprintVersion and say why) or a solver's\n");
+  std::printf("// answer drifted (a correctness regression).\n");
+  std::printf("// Regenerate: ppdriver golden --n %zu --seed %llu > tests/golden_results.inc\n",
+              n, static_cast<unsigned long long>(seed));
+  for (const auto& s : reg.solvers()) {
+    auto input = reg.make_input(s.problem, n, seed);
+    auto fp = pp::fingerprint_of(input);
+    auto res = pp::registry::run(
+        s.name, input,
+        pp::context{}.with_backend(pp::backend_kind::sequential).with_seed(seed));
+    std::printf("{\"%s\", %zu, %lluull, \"%s\", %lld},\n", s.name.c_str(), n,
+                static_cast<unsigned long long>(seed), fp.hex().c_str(),
+                static_cast<long long>(pp::score_of(res.value)));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,6 +317,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "problems") == 0) return cmd_problems();
     if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
     if (std::strcmp(argv[1], "batch") == 0) return cmd_batch(argc, argv);
+    if (std::strcmp(argv[1], "golden") == 0) return cmd_golden(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     return 1;

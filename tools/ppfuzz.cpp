@@ -16,6 +16,10 @@
 // nightly workflow fails on it). PP_TEST_SKIP_OPENMP=1 drops the OpenMP
 // backend, same as the test suite (for TSan-instrumented builds).
 //
+// Already-exercised (solver, backend, input-fingerprint, seed) quadruples
+// are skipped (content-addressed corpus dedup; the "deduped" count in the
+// summary line), so long soaks spend their budget on fresh points.
+//
 // flags: --duration SEC (default 10), --max-n N (default 4000),
 //        --seed S (base for the run-to-run RNG, default 1),
 //        --verbose (print every iteration)
@@ -23,7 +27,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/registry.h"
@@ -131,10 +137,23 @@ int main(int argc, char** argv) {
 
   uint64_t iters = 0;
   uint64_t failures = 0;
+  uint64_t deduped = 0;
+  // Content-addressed corpus: every comparison already exercised, keyed by
+  // (solver, backend, input fingerprint, seed). The log-uniform size draw
+  // lands on small n constantly and the default factories make the input a
+  // pure function of (problem, n, seed), so without dedup a long soak
+  // re-runs quadruples whose outcome is already decided — skipping them
+  // spends the duration budget on fresh points instead.
+  std::set<std::tuple<std::string, pp::backend_kind, pp::fingerprint, uint64_t>> corpus;
   while (elapsed() < duration) {
     trial t = candidates[rng.ith_bounded(iters * 4 + 0, candidates.size())];
     t.backend = backends[rng.ith_bounded(iters * 4 + 1, backends.size())];
-    t.seed = pp::hash64(rng.ith(iters * 4 + 2));
+    // Seed from a bounded 1024-slot pool, not the full 64-bit space: the
+    // input is a pure function of (problem, n, seed), so fuzz diversity
+    // lives in the (solver, backend, n, seed) cross product either way —
+    // but a bounded pool lets long soaks revisit a quadruple, which the
+    // fingerprint corpus below detects and skips instead of re-proving.
+    t.seed = pp::hash64(rng.ith_bounded(iters * 4 + 2, 1024));
     // log-uniform n in [50, max_n]: squash a uniform draw through x^2 so
     // small sizes (where phase boundaries and empty frontiers live) are
     // drawn as often as big ones.
@@ -143,6 +162,18 @@ int main(int argc, char** argv) {
     size_t n = 50 + static_cast<size_t>(u * u * static_cast<double>(max_n - 50));
     t.n = n;
     ++iters;
+
+    try {
+      const pp::solver_info* si = registry::instance().info(t.solver);
+      auto fp = pp::fingerprint_of(registry::instance().make_input(si->problem, t.n, t.seed));
+      if (!corpus.insert({t.solver, t.backend, fp, t.seed}).second) {
+        ++deduped;
+        continue;
+      }
+    } catch (const std::exception&) {
+      // Couldn't even build the input — fall through so agree() rebuilds
+      // it and reports the exception as a proper minimized failure.
+    }
 
     int64_t ref_score = 0, got_score = 0;
     std::string error;
@@ -183,8 +214,9 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
-  std::printf("ppfuzz: %llu iterations in %.1f s, %llu failure(s)\n",
+  std::printf("ppfuzz: %llu iterations in %.1f s, %llu deduped, %llu failure(s)\n",
               static_cast<unsigned long long>(iters), elapsed(),
+              static_cast<unsigned long long>(deduped),
               static_cast<unsigned long long>(failures));
   return failures == 0 ? 0 : 1;
 }

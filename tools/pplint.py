@@ -28,6 +28,12 @@ codebase depends on for correctness and reproducibility:
                        batch_result must be emitted by the corresponding
                        to_json writer, so machine-readable envelopes never
                        silently drop a counter that was added to the struct.
+  fingerprint-coverage Every problem_input variant alternative must declare
+                       a canonicalizer (`void canonicalize(const X&,
+                       fingerprint_stream&)`), or its fingerprint would fall
+                       back to nothing and content addressing (result cache,
+                       dedup, golden table, ppfuzz corpus) silently breaks
+                       for that problem (see core/fingerprint.h).
 
 Usage:
   tools/pplint.py [--root DIR]     lint the tree (exit 1 on violations)
@@ -256,6 +262,7 @@ def check_solver_coverage(root, registry_path, harness_paths):
 # mapping to multiple keys requires all of them.
 FIELD_KEY_MAP = {
     ("run_result", "value"): ["score", "summary"],
+    ("run_result", "input_fp"): ["input_fingerprint"],
 }
 # Fields that are deliberately not serialized (none today).
 FIELD_SKIP = set()
@@ -338,6 +345,44 @@ def check_json_fields(root, spec):
 
 
 # --------------------------------------------------------------------------
+# Rule: fingerprint-coverage
+
+
+def check_fingerprint_coverage(path, text):
+    """Every alternative of `using problem_input = std::variant<...>` must
+    have a canonicalizer declared (`canonicalize(const X&`). An alternative
+    without one has no canonical byte stream, so its fingerprint — and with
+    it the serve-layer cache/dedup keys, the golden-result table, and the
+    ppfuzz corpus — would silently stop addressing that problem's content."""
+    out = []
+    m = re.search(r"\busing\s+problem_input\s*=\s*std\s*::\s*variant\s*<([^>]*)>", text)
+    if not m:
+        out.append(
+            Violation(path, 1, "fingerprint-coverage", "problem_input variant not found (parser broken?)")
+        )
+        return out
+    alts = [a.strip() for a in m.group(1).split(",") if a.strip()]
+    if not alts:
+        out.append(
+            Violation(path, line_of(text, m.start()), "fingerprint-coverage", "problem_input variant has no alternatives (parser broken?)")
+        )
+        return out
+    for alt in alts:
+        if not re.search(r"\bcanonicalize\s*\(\s*const\s+%s\s*&" % re.escape(alt), text):
+            out.append(
+                Violation(
+                    path,
+                    line_of(text, m.start()),
+                    "fingerprint-coverage",
+                    "problem_input alternative '%s' has no canonicalizer "
+                    "(void canonicalize(const %s&, fingerprint_stream&)); its "
+                    "fingerprint cannot address the input's content" % (alt, alt),
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------------
 # Driver
 
 JSON_SPEC = [
@@ -367,6 +412,10 @@ def lint_tree(root):
     if os.path.exists(registry):
         violations += check_solver_coverage(root, registry, [h for h in harnesses if os.path.exists(h)])
     violations += check_json_fields(root, [s for s in JSON_SPEC if os.path.exists(os.path.join(root, s[1]))])
+    registry_h = os.path.join(root, "src", "core", "registry.h")
+    if os.path.exists(registry_h):
+        with open(registry_h, encoding="utf-8") as f:
+            violations += check_fingerprint_coverage(registry_h, strip_comments_and_strings(f.read()))
     return violations
 
 
@@ -460,6 +509,23 @@ std::string to_json(const engine_stats& s) {
 """
 
 
+FIXTURE_FP_BAD = """
+struct alpha_input { int n; };
+void canonicalize(const alpha_input& in, fingerprint_stream& s);
+struct beta_input { int n; };  // no canonicalizer: content-address hole
+using problem_input = std::variant<alpha_input, beta_input>;
+"""
+
+FIXTURE_FP_GOOD = """
+struct alpha_input { int n; };
+void canonicalize(const alpha_input& in, fingerprint_stream& s);
+struct beta_input { int n; };
+void canonicalize(const beta_input& in, fingerprint_stream& s);
+using problem_input =
+    std::variant<alpha_input, beta_input>;
+"""
+
+
 def expect(cond, what, failures):
     if cond:
         print("  ok: %s" % what)
@@ -521,6 +587,15 @@ def self_test():
             "json-fields fires on struct field missing from to_json",
             failures,
         )
+
+    v = check_fingerprint_coverage("bad.h", strip_comments_and_strings(FIXTURE_FP_BAD))
+    expect(
+        len(v) == 1 and v[0].rule == "fingerprint-coverage" and "beta_input" in v[0].msg,
+        "fingerprint-coverage fires on variant alternative without canonicalizer",
+        failures,
+    )
+    v = check_fingerprint_coverage("good.h", strip_comments_and_strings(FIXTURE_FP_GOOD))
+    expect(len(v) == 0, "fingerprint-coverage quiet when every alternative is covered", failures)
 
     if failures:
         print("self-test FAILED (%d)" % len(failures))

@@ -33,7 +33,10 @@
 //                instead of running a solver
 //
 // response fields: id, ok, and either "result" (the run_result envelope
-// pp::to_json emits), "stats" (for stats requests), or "error".
+// pp::to_json emits), "stats" (for stats requests), or "error". Successful
+// solver responses also carry "cached": true when the engine answered from
+// its result cache (a repeat (solver, input-fingerprint, seed) triple —
+// zero pool leases), false when the solve actually executed.
 //
 // Modes:
 //   default       serve stdin, write stdout, exit at EOF
@@ -44,7 +47,9 @@
 //                 keeps stdin open.
 //
 // Engine knobs: --max-inflight R, --workers-per-run W, --batch-window-us U,
-// --max-batch K, --queue N, --backend B, --seed S, --max-n N.
+// --max-batch K, --queue N, --backend B, --seed S, --max-n N,
+// --cache-entries N (result-cache capacity, default 256), --cache-off
+// (disable the result cache; in-flight dedup stays on).
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -161,6 +166,7 @@ int usage(const char* argv0) {
                "usage: %s [--port P] [--max-inflight R] [--workers-per-run W]\n"
                "          [--batch-window-us U] [--max-batch K] [--queue N]\n"
                "          [--backend native|openmp|sequential] [--seed S] [--max-n N]\n"
+               "          [--cache-entries N] [--cache-off]\n"
                "reads newline-delimited JSON requests on stdin (and TCP port P),\n"
                "writes one JSON response line per request.\n",
                argv0);
@@ -308,10 +314,15 @@ struct session {
       if (e.fut.valid()) {
         pp::serve::response r = e.fut.get();
         w.member("ok", r.ok());
-        if (r.ok())
+        if (r.ok()) {
+          // Always present on solver responses so clients (and the CLI
+          // test) can assert on it without membership checks: true only
+          // when the engine's result cache answered without a solve.
+          w.member("cached", r.cached);
           w.key("result").value_raw(pp::to_json(r.result));
-        else
+        } else {
           w.member("error", r.error);
+        }
       } else if (!e.stats.empty()) {
         w.member("ok", true);
         w.key("stats").value_raw(e.stats);
@@ -495,6 +506,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--queue") == 0) {
       opt.eng.queue_capacity = static_cast<size_t>(
           parse_int(argv[0], "--queue", need("--queue"), 1, 100'000'000));
+    } else if (std::strcmp(argv[i], "--cache-entries") == 0) {
+      // Minimum 1: "0 entries" is spelled --cache-off, so a negative or
+      // zero count here is a mistake, not a disable request.
+      opt.eng.cache_entries = static_cast<size_t>(
+          parse_int(argv[0], "--cache-entries", need("--cache-entries"), 1, 100'000'000));
+    } else if (std::strcmp(argv[i], "--cache-off") == 0) {
+      opt.eng.cache_entries = 0;  // dedup of in-flight duplicates stays on
     } else if (std::strcmp(argv[i], "--max-n") == 0) {
       opt.max_n = static_cast<size_t>(parse_int(argv[0], "--max-n", need("--max-n"), 1,
                                                 std::numeric_limits<long long>::max()));
