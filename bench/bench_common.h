@@ -12,18 +12,54 @@
 //  * "self-speedup" is measured by re-running the identical parallel code
 //    under the sequential backend (1 worker), as the paper does with
 //    1-core runs.
+//  * benches with a committed baseline emit a --json envelope that embeds
+//    `deterministic_top` / `deterministic_row` key lists, so the generic
+//    checker (tools/bench_baseline_check.py) knows which fields are exact
+//    across machines (counters, checksums, config echoes) and which are
+//    environment noise (wall-clock) without a per-bench CI script.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <initializer_list>
 #include <string>
 
 #include "core/context.h"
+#include "core/json.h"
 #include "parallel/api.h"
 
 namespace bench {
+
+// True iff `flag` appears anywhere in argv (exact match).
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+// Open a baseline-comparable JSON envelope: the bench name plus the two
+// key lists tools/bench_baseline_check.py drives the comparison from.
+// `deterministic_top` names top-level members that must match the committed
+// baseline exactly; `deterministic_row` names per-row members (of the
+// "rows" array) that must. Everything else — wall-clock, rates — is
+// reported but never compared. The caller appends its own members/rows and
+// closes the object.
+inline pp::json::writer& begin_envelope(pp::json::writer& w, const char* bench_name,
+                                        std::initializer_list<const char*> deterministic_top,
+                                        std::initializer_list<const char*> deterministic_row) {
+  w.begin_object();
+  w.member("bench", bench_name);
+  w.key("deterministic_top").begin_array();
+  for (const char* k : deterministic_top) w.value(k);
+  w.end_array();
+  w.key("deterministic_row").begin_array();
+  for (const char* k : deterministic_row) w.value(k);
+  w.end_array();
+  return w;
+}
 
 inline double scale() {
   if (const char* s = std::getenv("REPRO_SCALE")) return std::atof(s);

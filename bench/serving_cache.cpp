@@ -18,10 +18,12 @@
 // LRU; off, all R execute. The checksum is identical in both modes — the
 // cache changes cost, never answers.
 //
-// Output: a human table, or with --json a single JSON envelope on stdout.
-// The committed baseline BENCH_serving_cache.json locks the deterministic
-// fields (hits/misses/leases/checksum — NOT wall-clock) in CI; regenerate
-// it with `bench/serving_cache --json > BENCH_serving_cache.json` after an
+// Output: a human table, or with --json a single JSON envelope on stdout
+// whose deterministic_top / deterministic_row lists tell the generic
+// checker (tools/bench_baseline_check.py) which fields the committed
+// baseline BENCH_serving_cache.json locks in CI (hits/misses/leases/
+// checksum — NOT wall-clock). Regenerate it with
+// `bench/serving_cache --json > BENCH_serving_cache.json` after an
 // intentional change.
 //
 // Env: REPRO_SCALE scales the input size, PP_SEED the base seed.
@@ -105,7 +107,7 @@ cache_result run_mode(bool cache_on, size_t distinct, size_t n, const pp::contex
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  bool json = bench::has_flag(argc, argv, "--json");
   pp::context ctx = bench::env_context().with_backend(pp::backend_kind::native);
   const size_t n = bench::scaled(2'000);
 
@@ -147,8 +149,12 @@ int main(int argc, char** argv) {
 
   if (json) {
     pp::json::writer w;
-    w.begin_object();
-    w.member("bench", "serving_cache").member("solver", kSolver);
+    bench::begin_envelope(w, "serving_cache",
+                          {"solver", "n", "requests", "pass"},
+                          {"cache", "distinct", "cache_hits", "cache_misses", "deduped",
+                           "submitted", "batches", "leases", "cached_responses",
+                           "score_checksum"});
+    w.member("solver", kSolver);
     w.member("n", static_cast<uint64_t>(n)).member("requests", static_cast<uint64_t>(kRequests));
     w.member("pass", pass);
     w.key("rows").begin_array();

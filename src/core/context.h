@@ -58,6 +58,12 @@ struct context {
   uint64_t seed = 1;     // seed for every random choice a solver makes
   size_t grain = 0;      // parallel_for grain; 0 = auto heuristic
   pivot_policy pivot = pivot_policy::rightmost;
+  // Relaxation factor k for the relaxed k-MultiQueue execution mode
+  // (parallel/multiqueue.h): the scheduler shards work over max(2, 2k)
+  // sequential priority queues, so larger k trades contention for bounded
+  // priority inversion (more wasted work). Ignored by phase/sequential
+  // solvers; a configuration knob, so it participates in operator==.
+  unsigned relax_k = 4;
   // Cooperative cancellation handle (core/cancel.h). Null by default; when
   // set, run_scope installs it for the run's thread and the phase loops
   // poll it between rounds. NOT a configuration knob: it never changes
@@ -98,6 +104,11 @@ struct context {
     c.cancel = std::move(t);
     return c;
   }
+  context with_relax_k(unsigned k) const {
+    context c = *this;
+    c.relax_k = k;
+    return c;
+  }
 
   // Config-wise equality: two runs "agree" iff every knob that affects
   // what they compute matches. Used by the scope-race detector below and
@@ -106,7 +117,7 @@ struct context {
   // flagged as conflicting configs.
   friend bool operator==(const context& a, const context& b) {
     return a.backend == b.backend && a.workers == b.workers && a.seed == b.seed &&
-           a.grain == b.grain && a.pivot == b.pivot;
+           a.grain == b.grain && a.pivot == b.pivot && a.relax_k == b.relax_k;
   }
 };
 

@@ -161,6 +161,51 @@ struct solver_info {
   std::string description;  // one line
 };
 
+// ---- Execution paradigms ----------------------------------------------------
+//
+// Three ways a registered solver executes:
+//   sequential — one thread, the work-efficient baseline/reference;
+//   phase      — round-synchronous phase-parallel (the paper's model);
+//                deterministic in (input, seed), covered by the golden
+//                bit-stability table (tests/golden_results.inc);
+//   relaxed    — asynchronous over the k-MultiQueue scheduler
+//                (parallel/multiqueue.h); honors context::relax_k, its
+//                outputs are validated structurally against the phase
+//                reference, and it is EXEMPT from the golden table (the
+//                structural contract, not bit-stability, is what it
+//                promises).
+// The paradigm is derived from the registered name — "<family>/relaxed"
+// and "<family>/sequential" are naming contracts (pplint enforces the
+// relaxed side) — so the 30+ existing registrations need no extra field.
+enum class solver_paradigm { sequential, phase, relaxed };
+
+inline solver_paradigm paradigm_of(const solver_info& info) {
+  std::string_view name = info.name;
+  size_t slash = name.rfind('/');
+  std::string_view variant = slash == std::string_view::npos ? name : name.substr(slash + 1);
+  if (variant == "relaxed") return solver_paradigm::relaxed;
+  // sssp/dijkstra is the sequential reference of its family despite the
+  // historical name (the same exception tools/pplint.py's solver-coverage
+  // rule carries).
+  if (variant == "sequential" || name == "sssp/dijkstra") return solver_paradigm::sequential;
+  return solver_paradigm::phase;
+}
+
+inline const char* paradigm_name(solver_paradigm p) {
+  switch (p) {
+    case solver_paradigm::sequential: return "sequential";
+    case solver_paradigm::phase: return "phase";
+    case solver_paradigm::relaxed: return "relaxed";
+  }
+  return "phase";
+}
+
+// Whether the solver consults context::relax_k (today: exactly the
+// relaxed paradigm).
+inline bool accepts_relax_knob(const solver_info& info) {
+  return paradigm_of(info) == solver_paradigm::relaxed;
+}
+
 class registry {
  public:
   using solver_fn = std::function<solver_value(const problem_input&, const context&)>;

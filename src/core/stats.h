@@ -15,6 +15,11 @@ struct phase_stats {
   size_t substeps = 0;           // inner iterations (e.g. Delta-stepping Bellman-Ford substeps)
   size_t relaxations = 0;        // SSSP edge relaxations
 
+  // Relaxed k-MultiQueue mode (parallel/multiqueue.h; zero for phase runs).
+  size_t popped = 0;   // elements claimed from the MultiQueue
+  size_t wasted = 0;   // pops that were stale/already decided (relaxation cost)
+  size_t retries = 0;  // empty best-of-two draws + not-yet-ready re-inserts
+
   void record_frontier(size_t size) {
     rounds++;
     processed += size;

@@ -1,0 +1,280 @@
+// Relaxed k-MultiQueue priority scheduler (Alistarh et al., "Relaxed
+// Schedulers Can Efficiently Parallelize Iterative Algorithms").
+//
+// The phase-parallel runners in this repo synchronize every round: all
+// objects of rank r finish before any object of rank r+1 starts. That
+// barrier is exactly what hurts on high-diameter SSSP (thousands of tiny
+// rounds) and sparse-frontier MIS tails (rounds of O(remaining) scan work
+// for a handful of decisions). The MultiQueue drops the barrier: workers
+// pull the *approximately* smallest-priority element and tolerate bounded
+// priority inversion, paying for it in wasted pops instead of idle
+// barriers.
+//
+// Structure (the classic construction):
+//   * max(2, 2k) sharded sequential binary-heap priority queues, where k
+//     is `context::relax_k` — the relaxation factor and the ablation axis
+//     of bench/ablation_relaxed;
+//   * push inserts into one uniformly random shard;
+//   * try_pop peeks two distinct random shards and pops the min of the two
+//     tops (best-of-two), falling back to a full scan so the tail of a
+//     drained queue is found quickly;
+//   * elements may be inserted more than once (SSSP re-pushes an improved
+//     vertex); the *solver* claims an element with a CAS on its own state
+//     and reports a stale claim back as `wasted`, so duplicates are cheap
+//     retries, never double work;
+//   * termination is an atomic in-flight counter: push increments, the
+//     worker decrements only after the pop has been fully processed
+//     (including any re-inserts it performed), so counter==0 means no
+//     element exists anywhere and none is being processed.
+//
+// Composition with the rest of the runtime:
+//   * Workers are the run's leased pool: mq_run drives one worker loop per
+//     num_workers(ctx) slot via parallel_for(ctx, ...) under the caller's
+//     run_scope, so the MultiQueue leases its worker set from the same
+//     pool_cache as every phase solver and composes with pp::serve's
+//     exclusive pool leases (no thread of its own, ever).
+//   * Cancellation: worker loops poll the context's token (the
+//     non-throwing cancelled() form — a throw on a pool worker would
+//     escape its job) every kCancelStride claims and cooperatively abort;
+//     mq_run re-checks via cancel_point() after the join, on the run's own
+//     thread, where run_scope installed the token. The unwind then follows
+//     the standard phase-solver path (run_timed -> run_status::cancelled).
+//   * Counters: every worker accumulates popped/wasted/retries locally and
+//     merges once at exit; solvers copy them into phase_stats so they ride
+//     the existing run_result envelope (relaxation cost = wasted/popped).
+//
+// Randomness is pp::random_stream per worker (seeded from ctx.seed and the
+// worker index) — no std::rand, no clocks, so a run is reproducible in its
+// (seed, workers, k) triple even though the *schedule* is not.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/annotations.h"
+#include "core/context.h"
+#include "parallel/api.h"
+#include "parallel/random.h"
+
+namespace pp {
+
+// Counters a MultiQueue run exposes through phase_stats / run_result.
+struct mq_counters {
+  uint64_t popped = 0;   // claims handed to the solver
+  uint64_t wasted = 0;   // claims the solver reported stale (already decided)
+  uint64_t retries = 0;  // failed pop attempts + solver-requested re-inserts
+
+  // The price of relaxation: fraction of claims that were wasted.
+  double relaxation_cost() const {
+    return popped == 0 ? 0.0 : static_cast<double>(wasted) / static_cast<double>(popped);
+  }
+};
+
+class multiqueue {
+ public:
+  // Smaller priority = more urgent (vertex rank, tentative distance).
+  struct entry {
+    uint64_t priority;
+    uint32_t item;
+  };
+
+  // max(2, 2*relax_k) shards: k=1 degenerates to the contended two-queue
+  // baseline, larger k spreads insert/pop traffic at the cost of a worse
+  // rank-error bound (more wasted work) — the trade the bench measures.
+  static size_t shard_count(unsigned relax_k) {
+    return std::max<size_t>(2, 2 * static_cast<size_t>(relax_k));
+  }
+
+  explicit multiqueue(unsigned relax_k) : shards_(shard_count(relax_k)) {
+    for (auto& s : shards_) s = std::make_unique<shard>();
+  }
+
+  multiqueue(const multiqueue&) = delete;
+  multiqueue& operator=(const multiqueue&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  // Insert into a uniformly random shard. `rs`/`draw` are the calling
+  // worker's private random stream and draw cursor (stateless hashing, so
+  // reproducible per worker). Safe from any worker loop and from the
+  // seeding code before the loops start.
+  void push(uint64_t priority, uint32_t item, const random_stream& rs, uint64_t& draw) {
+    // in_flight rises before the element is visible, so no worker can ever
+    // observe "queues empty, counter zero" while an element is in transit.
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    shard& s = *shards_[rs.ith_bounded(draw++, shards_.size())];
+    sync::lock_guard<sync::mutex> lk(s.m);
+    s.heap.push_back(entry{priority, item});
+    std::push_heap(s.heap.begin(), s.heap.end(), later);
+  }
+
+  // Best-of-two delete-min: peek two distinct random shards, pop the
+  // better top. Falls back to scanning all shards so the last few elements
+  // of a draining queue are still found in one attempt. Returns false if
+  // every shard was empty at the moment it was inspected.
+  bool try_pop(entry& out, const random_stream& rs, uint64_t& draw) {
+    const size_t n = shards_.size();
+    size_t a = rs.ith_bounded(draw++, n);
+    size_t b = rs.ith_bounded(draw++, n);
+    if (a == b) b = (b + 1) % n;
+    uint64_t pa = 0, pb = 0;
+    bool ha = top_of(a, pa), hb = top_of(b, pb);
+    if (ha || hb) {
+      size_t pick = (!hb || (ha && pa <= pb)) ? a : b;
+      if (pop_from(pick, out)) return true;
+      // Lost the race for that shard's top; one sweep before giving up.
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (pop_from((a + i) % n, out)) return true;
+    }
+    return false;
+  }
+
+  // The element handed out by try_pop is done *and* every re-insert it
+  // triggered has been pushed. Order matters: a worker always pushes
+  // successors before calling done(), so in_flight can only hit zero when
+  // nothing remains.
+  void done() { in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  // Zero iff no element is queued or being processed (see done()).
+  int64_t in_flight() const { return in_flight_.load(std::memory_order_acquire); }
+
+  // Cooperative abort (cancellation): all worker loops observe this and
+  // exit without draining.
+  void abort() { abort_.store(true, std::memory_order_release); }
+  bool aborted() const { return abort_.load(std::memory_order_acquire); }
+
+ private:
+  // std::push_heap builds a max-heap; invert so the top is the *smallest*
+  // priority.
+  static bool later(const entry& x, const entry& y) { return x.priority > y.priority; }
+
+  // Padded so two shards' locks never share a cache line.
+  struct alignas(64) shard {
+    sync::mutex m;
+    std::vector<entry> heap PP_GUARDED_BY(m);
+  };
+
+  bool top_of(size_t i, uint64_t& priority) {
+    shard& s = *shards_[i];
+    sync::lock_guard<sync::mutex> lk(s.m);
+    if (s.heap.empty()) return false;
+    priority = s.heap.front().priority;
+    return true;
+  }
+
+  bool pop_from(size_t i, entry& out) {
+    shard& s = *shards_[i];
+    sync::lock_guard<sync::mutex> lk(s.m);
+    if (s.heap.empty()) return false;
+    out = s.heap.front();
+    std::pop_heap(s.heap.begin(), s.heap.end(), later);
+    s.heap.pop_back();
+    return true;
+  }
+
+  std::vector<std::unique_ptr<shard>> shards_;
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<bool> abort_{false};
+};
+
+// Per-worker view of a multiqueue: the worker's private random stream and
+// local counters. Passed to the solver's process function so re-inserts
+// ("a claimed element re-inserts its invalidated neighbors") go through
+// the same worker-local randomness.
+class mq_worker {
+ public:
+  mq_worker(multiqueue& q, uint64_t seed, unsigned index)
+      : q_(q), rs_(random_stream(seed).fork(0x4d51u /*'MQ'*/ + index)) {}
+
+  void push(uint64_t priority, uint32_t item) { q_.push(priority, item, rs_, draw_); }
+
+  // A claim the solver could not apply yet (dependencies unresolved):
+  // put it back and count the retry.
+  void retry(uint64_t priority, uint32_t item) {
+    q_.push(priority, item, rs_, draw_);
+    ++counters_.retries;
+  }
+
+  // A claim that was stale — the element was already decided elsewhere.
+  void wasted() { ++counters_.wasted; }
+
+  const mq_counters& counters() const { return counters_; }
+
+ private:
+  template <typename Process>
+  friend mq_counters mq_run(const context&, multiqueue&, Process&&);
+
+  multiqueue& q_;
+  random_stream rs_;
+  uint64_t draw_ = 0;
+  mq_counters counters_;
+};
+
+// Drive `process(worker, priority, item)` over the queue until it is
+// globally drained (in-flight counter reaches zero) or the context's
+// cancel token fires. One worker loop per num_workers(ctx) slot, scheduled
+// with parallel_for over the caller's leased pool — callers hold a
+// run_scope (every registry solver does), so this composes with pool_cache
+// and pp::serve leases. Returns the merged counters.
+//
+// The loops never block: an empty pop with work still in flight is a
+// counted retry + yield. That makes the driver safe even if the backend
+// runs two worker slots on one thread sequentially — the first slot simply
+// drains the queue alone and the second exits immediately.
+template <typename Process>
+mq_counters mq_run(const context& ctx, multiqueue& q, Process&& process) {
+  cancel_point();  // pre-cancelled runs unwind before any worker starts
+  const unsigned workers = std::max(1u, num_workers(ctx));
+  // Poll the token often enough for prompt unwinds but off the hot path.
+  constexpr uint64_t kCancelStride = 64;
+  std::vector<mq_counters> per_worker(workers);
+
+  auto loop = [&](size_t w) {
+    mq_worker self(q, ctx.seed, static_cast<unsigned>(w));
+    uint64_t since_poll = 0;
+    multiqueue::entry e;
+    while (!q.aborted()) {
+      if (++since_poll >= kCancelStride) {
+        since_poll = 0;
+        // Non-throwing poll: this may run on a pool worker thread, where a
+        // cancel_point() throw would escape the job. mq_run re-checks (and
+        // throws) after the join, on the run's own thread.
+        if (ctx.cancel.cancelled()) {
+          q.abort();
+          break;
+        }
+      }
+      if (q.try_pop(e, self.rs_, self.draw_)) {
+        ++self.counters_.popped;
+        process(self, e.priority, e.item);
+        q.done();  // after process: its re-inserts are already counted
+      } else {
+        if (q.in_flight() == 0) break;  // globally drained
+        ++self.counters_.retries;
+        std::this_thread::yield();  // straggler holds the last elements
+      }
+    }
+    per_worker[w] = self.counters_;
+  };
+  // grain=1 pins one loop per slot; the loops do their own load balancing
+  // through the queue, so splitting would only serialize them.
+  parallel_for(ctx, 0, workers, loop, /*grain=*/1);
+
+  cancel_point();  // outside every parallel region, on the run's thread
+
+  mq_counters total;
+  for (const mq_counters& c : per_worker) {
+    total.popped += c.popped;
+    total.wasted += c.wasted;
+    total.retries += c.retries;
+  }
+  return total;
+}
+
+}  // namespace pp

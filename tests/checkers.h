@@ -1,0 +1,94 @@
+// Structural validity checkers for the relaxed execution paradigm.
+//
+// Relaxed (k-MultiQueue) solvers promise structural correctness — a valid
+// MIS, a maximal matching, a proper coloring, exact SSSP distances — not
+// bit-stability, so test_relaxed, test_soak, and ppfuzz validate them with
+// these checkers instead of comparing scores against the sequential
+// reference. The graph predicates wrap the library validators (which the
+// phase solvers' own tests already trust); SSSP is held to exact equality
+// with the reference distances because relaxed Dijkstra is exact by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <variant>
+
+#include "core/registry.h"
+
+namespace pp_check {
+
+inline bool is_independent_and_maximal(const pp::graph& g, std::span<const uint8_t> in_mis) {
+  return pp::is_maximal_independent_set(g, in_mis);
+}
+
+inline bool is_maximal_matching(const pp::graph& g, std::span<const uint32_t> partner) {
+  return pp::is_maximal_matching(g, partner);
+}
+
+inline bool is_proper_coloring(const pp::graph& g, std::span<const uint32_t> color) {
+  return pp::is_valid_coloring(g, color);
+}
+
+inline bool sssp_distances_equal(std::span<const int64_t> got, std::span<const int64_t> want) {
+  if (got.size() != want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i)
+    if (got[i] != want[i]) return false;
+  return true;
+}
+
+// One-stop structural validation of a solver payload against its input
+// (and, for SSSP, the reference run's distances). `why` receives a
+// human-readable reason on failure. Works for any solver of the four
+// relaxed families; other payload types fail with "no structural checker".
+inline bool structurally_valid(const std::string& solver, const pp::problem_input& input,
+                               const pp::solver_value& got, const pp::solver_value& reference,
+                               std::string* why) {
+  std::ostringstream err;
+  bool ok = false;
+  if (const auto* r = std::get_if<pp::mis_result>(&got)) {
+    const auto* in = std::get_if<pp::graph_input>(&input);
+    if (!in) {
+      err << solver << ": mis payload without a graph input";
+    } else if (!is_independent_and_maximal(in->g, r->in_mis)) {
+      err << solver << ": not a maximal independent set";
+    } else {
+      size_t count = 0;
+      for (auto b : r->in_mis) count += b;
+      ok = count == r->mis_size;
+      if (!ok) err << solver << ": mis_size " << r->mis_size << " != selected count " << count;
+    }
+  } else if (const auto* r = std::get_if<pp::matching_result>(&got)) {
+    const auto* in = std::get_if<pp::graph_input>(&input);
+    if (!in) {
+      err << solver << ": matching payload without a graph input";
+    } else {
+      ok = pp_check::is_maximal_matching(in->g, r->partner);
+      if (!ok) err << solver << ": not a maximal matching";
+    }
+  } else if (const auto* r = std::get_if<pp::coloring_result>(&got)) {
+    const auto* in = std::get_if<pp::graph_input>(&input);
+    if (!in) {
+      err << solver << ": coloring payload without a graph input";
+    } else {
+      ok = is_proper_coloring(in->g, r->color);
+      if (!ok) err << solver << ": not a proper coloring";
+    }
+  } else if (const auto* r = std::get_if<pp::sssp_result>(&got)) {
+    const auto* ref = std::get_if<pp::sssp_result>(&reference);
+    if (!ref) {
+      err << solver << ": sssp payload but the reference run produced none";
+    } else {
+      ok = sssp_distances_equal(r->dist, ref->dist);
+      if (!ok) err << solver << ": distances differ from the reference (relaxed SSSP is exact)";
+    }
+  } else {
+    err << solver << ": no structural checker for this payload type";
+  }
+  if (!ok && why != nullptr) *why = err.str();
+  return ok;
+}
+
+}  // namespace pp_check

@@ -158,9 +158,19 @@ const golden_row kGolden[] = {
 TEST(Fingerprint, GoldenTableCoversEverySolver) {
   std::set<std::string> tabled;
   for (const auto& row : kGolden) tabled.insert(row.solver);
-  for (const auto& s : registry::instance().solvers())
+  for (const auto& s : registry::instance().solvers()) {
+    // Relaxed-paradigm solvers promise structural validity, not
+    // bit-stability — they are exempt from the golden table by contract
+    // (ppdriver golden skips them too), and tests/test_relaxed.cpp is
+    // their coverage.
+    if (pp::paradigm_of(s) == pp::solver_paradigm::relaxed) {
+      EXPECT_FALSE(tabled.count(s.name))
+          << s.name << " is relaxed-paradigm and must NOT be golden-tabled";
+      continue;
+    }
     EXPECT_TRUE(tabled.count(s.name)) << s.name << " missing from golden_results.inc — "
                                       << "regenerate with: ppdriver golden";
+  }
 }
 
 TEST(Fingerprint, GoldenFingerprintsAndScoresAreStable) {

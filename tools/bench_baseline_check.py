@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""bench_baseline_check — compare a bench --json envelope to its committed
+baseline, driven by the key lists the envelope itself declares.
+
+Benches with a committed baseline (BENCH_<name>.json) emit, via
+bench::begin_envelope (bench/bench_common.h), two arrays:
+
+  deterministic_top   top-level members that must equal the baseline
+                      exactly (config echoes, counters, checksums, pass)
+  deterministic_row   members of each element of "rows" that must
+
+Everything else — wall-clock, rates, percentiles — is environment noise:
+reported in the envelope, never compared. This script is the whole CI
+comparison; adding a bench to the baseline smoke is one workflow line, not
+a new inline python block.
+
+Usage:
+  tools/bench_baseline_check.py GOT.json WANT.json
+
+Exit 0 when every declared deterministic field matches (and `pass`, when
+declared deterministic, is true in GOT); exit 1 with a per-field diff
+otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print("bench_baseline_check: MISMATCH: %s" % msg)
+    return 1
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: %s GOT.json WANT.json" % argv[0])
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        got = json.load(f)
+    with open(argv[2], encoding="utf-8") as f:
+        want = json.load(f)
+
+    top = want.get("deterministic_top")
+    row = want.get("deterministic_row")
+    if not isinstance(top, list) or not isinstance(row, list):
+        return fail("baseline %s declares no deterministic_top/deterministic_row "
+                    "key lists (is it a bench::begin_envelope envelope?)" % argv[2])
+    if got.get("bench") != want.get("bench"):
+        return fail("bench name: got %r, want %r" % (got.get("bench"), want.get("bench")))
+    # The envelope's own declaration must not drift from the baseline's:
+    # a silently narrowed key list would hollow out the comparison.
+    for decl in ("deterministic_top", "deterministic_row"):
+        if got.get(decl) != want.get(decl):
+            return fail("%s: got %r, want %r" % (decl, got.get(decl), want.get(decl)))
+
+    rc = 0
+    for k in top:
+        if got.get(k) != want.get(k):
+            rc = fail("top-level '%s': got %r, want %r" % (k, got.get(k), want.get(k)))
+    if "pass" in top and got.get("pass") is not True:
+        rc = fail("'pass' is not true in the fresh run")
+
+    grows, wrows = got.get("rows", []), want.get("rows", [])
+    if len(grows) != len(wrows):
+        rc = fail("row count: got %d, want %d" % (len(grows), len(wrows)))
+    else:
+        for i, (g, w) in enumerate(zip(grows, wrows)):
+            for k in row:
+                if g.get(k) != w.get(k):
+                    rc = fail("row %d '%s': got %r, want %r" % (i, k, g.get(k), w.get(k)))
+
+    if rc == 0:
+        print("bench_baseline_check: %s matches its baseline (%d top fields, "
+              "%d row fields x %d rows)" % (got.get("bench"), len(top), len(row), len(wrows)))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

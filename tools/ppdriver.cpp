@@ -16,6 +16,7 @@
 //   --workers W        worker count (0 = backend default)
 //   --grain G          parallel_for grain (0 = auto)
 //   --pivot P          rightmost | random   (Type-2 pivot policy)
+//   --relax-k K        k-MultiQueue relaxation factor (relaxed solvers only)
 //   --json             print the machine-readable envelope instead of text
 //
 // run options:
@@ -47,20 +48,25 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s list | problems\n"
                "       %s run <solver>   [--n N] [--seed S] [--backend B] [--workers W]\n"
-               "                         [--grain G] [--pivot rightmost|random]\n"
+               "                         [--grain G] [--pivot rightmost|random] [--relax-k K]\n"
                "                         [--repeats R] [--json]\n"
                "       %s batch <solver> [--count K] [--n N] [--seed S] [--backend B]\n"
                "                         [--workers W] [--grain G] [--pivot rightmost|random]\n"
-               "                         [--order as_given|shuffled] [--json]\n"
+               "                         [--relax-k K] [--order as_given|shuffled] [--json]\n"
                "       %s golden         [--n N] [--seed S]\n",
                argv0, argv0, argv0, argv0);
   return 2;
 }
 
 int cmd_list() {
-  std::printf("%-32s %-10s %s\n", "solver", "problem", "description");
+  // paradigm: sequential | phase | relaxed (see core/registry.h); relax-k
+  // marks the solvers that honor the --relax-k knob.
+  std::printf("%-32s %-10s %-10s %-7s %s\n", "solver", "problem", "paradigm", "relax-k",
+              "description");
   for (const auto& s : pp::registry::instance().solvers())
-    std::printf("%-32s %-10s %s\n", s.name.c_str(), s.problem.c_str(), s.description.c_str());
+    std::printf("%-32s %-10s %-10s %-7s %s\n", s.name.c_str(), s.problem.c_str(),
+                pp::paradigm_name(pp::paradigm_of(s)), pp::accepts_relax_knob(s) ? "yes" : "-",
+                s.description.c_str());
   return 0;
 }
 
@@ -118,6 +124,13 @@ int parse_options(int argc, char** argv, bool batch_mode, cli_options& opt) {
         std::fprintf(stderr, "%s: unknown pivot policy '%s'\n", argv[0], p);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--relax-k") == 0) {
+      long k = std::strtol(need("--relax-k"), nullptr, 10);
+      if (k < 1) {
+        std::fprintf(stderr, "%s: --relax-k must be >= 1\n", argv[0]);
+        return 2;
+      }
+      opt.ctx.relax_k = static_cast<unsigned>(k);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opt.json = true;
     } else if (!batch_mode && std::strcmp(argv[i], "--repeats") == 0) {
@@ -177,6 +190,12 @@ void print_stats_text(const pp::phase_stats& st) {
               "substeps %zu, relaxations %zu\n",
               st.rounds, st.processed, st.max_frontier, st.wakeup_attempts, st.substeps,
               st.relaxations);
+  if (st.popped > 0) {
+    // Relaxed-mode scheduler counters (zero for phase/sequential runs).
+    std::printf("mq       = popped %zu, wasted %zu, retries %zu (relaxation cost %.4f)\n",
+                st.popped, st.wasted, st.retries,
+                static_cast<double>(st.wasted) / static_cast<double>(st.popped));
+  }
 }
 
 int cmd_run(int argc, char** argv) {
@@ -296,6 +315,9 @@ int cmd_golden(int argc, char** argv) {
   std::printf("// Regenerate: ppdriver golden --n %zu --seed %llu > tests/golden_results.inc\n",
               n, static_cast<unsigned long long>(seed));
   for (const auto& s : reg.solvers()) {
+    // Relaxed-paradigm solvers promise structural validity, not
+    // bit-stability — tests/test_fingerprint.cpp asserts they are absent.
+    if (pp::paradigm_of(s) == pp::solver_paradigm::relaxed) continue;
     auto input = reg.make_input(s.problem, n, seed);
     auto fp = pp::fingerprint_of(input);
     auto res = pp::registry::run(

@@ -5,7 +5,10 @@
 // random backend, a random seed, and a random size n (log-uniform in
 // [50, --max-n]); build the problem's default input; run the solver and
 // its family's sequential reference on the same input; compare canonical
-// scores (pp::score_of). On a mismatch the failure is *minimized* — n is
+// scores (pp::score_of). Relaxed-paradigm solvers (*/relaxed) are instead
+// validated structurally (tests/checkers.h) — their schedules are
+// nondeterministic, so score equality would be the wrong oracle.
+// On a mismatch the failure is *minimized* — n is
 // halved while the mismatch reproduces — and printed as a ready-to-run
 // ppdriver command line:
 //
@@ -34,6 +37,7 @@
 
 #include "core/registry.h"
 #include "parallel/random.h"
+#include "../tests/checkers.h"
 
 namespace {
 
@@ -60,6 +64,12 @@ struct trial {
 // Run one (solver, backend, seed, n) comparison. Returns true on
 // agreement; on disagreement fills the two scores. Exceptions count as
 // failures too (what() into `error`).
+//
+// Relaxed-paradigm solvers are nondeterministic in everything but the
+// structure of their answer, so for them "agree" means structural validity
+// (a maximal independent set, a maximal matching, a proper coloring —
+// exact distances for SSSP), checked against the same reference run the
+// deterministic branch scores against.
 bool agree(const trial& t, int64_t& ref_score, int64_t& got_score, std::string& error) {
   try {
     const pp::solver_info* si = registry::instance().info(t.solver);
@@ -71,6 +81,12 @@ bool agree(const trial& t, int64_t& ref_score, int64_t& got_score, std::string& 
         registry::run(t.solver, input, pp::context{}.with_backend(t.backend).with_seed(t.seed));
     ref_score = pp::score_of(ref.value);
     got_score = pp::score_of(got.value);
+    if (pp::paradigm_of(*si) == pp::solver_paradigm::relaxed) {
+      std::string why;
+      if (pp_check::structurally_valid(t.solver, input, got.value, ref.value, &why)) return true;
+      error = why;
+      return false;
+    }
     return ref_score == got_score;
   } catch (const std::exception& e) {
     error = e.what();

@@ -34,6 +34,16 @@ codebase depends on for correctness and reproducibility:
                        back to nothing and content addressing (result cache,
                        dedup, golden table, ppfuzz corpus) silently breaks
                        for that problem (see core/fingerprint.h).
+  relaxed-coverage     Every `*/relaxed` solver must (a) declare its
+                       phase-mode determinism reference in its registry
+                       description ("phase ref: <solver>", and that solver
+                       must itself be registered — it is the oracle the
+                       structural checkers and benches compare against),
+                       (b) run on an execution path that carries a
+                       cancel_point() call (the MultiQueue driver), and
+                       (c) be exercised by tests/test_relaxed.cpp. Relaxed
+                       solvers are exempt from the golden table, so this
+                       rule is what keeps their oracle and coverage honest.
 
 Usage:
   tools/pplint.py [--root DIR]     lint the tree (exit 1 on violations)
@@ -383,6 +393,94 @@ def check_fingerprint_coverage(path, text):
 
 
 # --------------------------------------------------------------------------
+# Rule: relaxed-coverage
+
+
+def check_relaxed_coverage(registry_path, impl_paths, test_path):
+    """Every registered `*/relaxed` solver must declare a registered phase
+    reference in its description, the relaxed execution path must contain a
+    cancel_point() call, and the solver must appear in test_relaxed.cpp."""
+    out = []
+    with open(registry_path, encoding="utf-8") as f:
+        raw = f.read()
+    # Descriptions may be split across adjacent string literals, so capture
+    # the whole literal run and re-join the fragments.
+    regs = re.findall(
+        r'add_solver\s*\(\s*\{\s*"([^"]+)"\s*,\s*"([^"]+)"\s*,\s*((?:"[^"]*"\s*)+)', raw
+    )
+    regs = [(n, p, "".join(re.findall(r'"([^"]*)"', d))) for n, p, d in regs]
+    names = {n for n, _p, _d in regs}
+    relaxed = [(n, d) for n, _p, d in regs if n.endswith("/relaxed")]
+    for name, desc in relaxed:
+        line = 1
+        m = re.search(r'add_solver\s*\(\s*\{\s*"%s"' % re.escape(name), raw)
+        if m:
+            line = line_of(raw, m.start())
+        rm = re.search(r"phase ref:\s*([\w/]+)", desc)
+        if not rm:
+            out.append(
+                Violation(
+                    registry_path,
+                    line,
+                    "relaxed-coverage",
+                    "relaxed solver '%s' does not declare its determinism "
+                    "reference ('phase ref: <solver>' in the description)" % name,
+                )
+            )
+        elif rm.group(1) not in names:
+            out.append(
+                Violation(
+                    registry_path,
+                    line,
+                    "relaxed-coverage",
+                    "relaxed solver '%s' declares 'phase ref: %s' but no such "
+                    "solver is registered" % (name, rm.group(1)),
+                )
+            )
+    if not relaxed:
+        return out
+    impl_text = ""
+    for p in impl_paths:
+        with open(p, encoding="utf-8") as f:
+            impl_text += strip_comments_and_strings(f.read())
+    if not re.search(r"\bcancel_point\s*\(", impl_text):
+        out.append(
+            Violation(
+                impl_paths[0] if impl_paths else registry_path,
+                1,
+                "relaxed-coverage",
+                "relaxed execution path has no cancel_point() call; relaxed "
+                "runs could never unwind on cancellation",
+            )
+        )
+    if test_path is None or not os.path.exists(test_path):
+        out.append(
+            Violation(
+                registry_path,
+                1,
+                "relaxed-coverage",
+                "relaxed solvers are registered but tests/test_relaxed.cpp "
+                "does not exist",
+            )
+        )
+    else:
+        with open(test_path, encoding="utf-8") as f:
+            test_raw = f.read()
+        for name, _d in relaxed:
+            if name not in test_raw:
+                out.append(
+                    Violation(
+                        test_path,
+                        1,
+                        "relaxed-coverage",
+                        "relaxed solver '%s' is not exercised by %s"
+                        % (name, os.path.basename(test_path)),
+                    )
+                )
+    return out
+
+
+# --------------------------------------------------------------------------
 # Driver
 
 JSON_SPEC = [
@@ -411,6 +509,17 @@ def lint_tree(root):
     ]
     if os.path.exists(registry):
         violations += check_solver_coverage(root, registry, [h for h in harnesses if os.path.exists(h)])
+        relaxed_impls = [
+            p
+            for p in (
+                os.path.join(root, "src", "algos", "relaxed.cpp"),
+                os.path.join(root, "src", "parallel", "multiqueue.h"),
+            )
+            if os.path.exists(p)
+        ]
+        violations += check_relaxed_coverage(
+            registry, relaxed_impls, os.path.join(root, "tests", "test_relaxed.cpp")
+        )
     violations += check_json_fields(root, [s for s in JSON_SPEC if os.path.exists(os.path.join(root, s[1]))])
     registry_h = os.path.join(root, "src", "core", "registry.h")
     if os.path.exists(registry_h):
@@ -509,6 +618,39 @@ std::string to_json(const engine_stats& s) {
 """
 
 
+FIXTURE_RELAXED_REGISTRY_BAD = """
+void register_all(registry& r) {
+  r.add_solver({"foo/relaxed", "graph", "async greedy, reference unstated"}, fn);
+  r.add_solver({"bar/relaxed", "graph", "async greedy (phase ref: bar/rounds)"}, fn);
+  r.add_solver({"foo/sequential", "graph", "fine"}, fn);
+}
+"""
+
+FIXTURE_RELAXED_REGISTRY_GOOD = """
+void register_all(registry& r) {
+  r.add_solver({"baz/relaxed", "graph", "async greedy (phase ref: baz/rounds)"}, fn);
+  r.add_solver({"baz/rounds", "graph", "phase-parallel twin"}, fn);
+}
+"""
+
+FIXTURE_RELAXED_IMPL_BAD = """
+mq_counters mq_run(const context& ctx, multiqueue& q) {
+  // no cancel_point anywhere: a cancelled relaxed run could never unwind
+  return {};
+}
+"""
+
+FIXTURE_RELAXED_IMPL_GOOD = """
+mq_counters mq_run(const context& ctx, multiqueue& q) {
+  cancel_point();
+  return {};
+}
+"""
+
+FIXTURE_RELAXED_TEST_GOOD = """
+TEST(Relaxed, Valid) { run("baz/relaxed"); }
+"""
+
 FIXTURE_FP_BAD = """
 struct alpha_input { int n; };
 void canonicalize(const alpha_input& in, fingerprint_stream& s);
@@ -585,6 +727,36 @@ def self_test():
         expect(
             len(v) == 1 and "dropped" in v[0].msg,
             "json-fields fires on struct field missing from to_json",
+            failures,
+        )
+
+        rreg_bad = os.path.join(td, "relaxed_registry_bad.cpp")
+        rreg_good = os.path.join(td, "relaxed_registry_good.cpp")
+        rimpl_bad = os.path.join(td, "relaxed_impl_bad.h")
+        rimpl_good = os.path.join(td, "relaxed_impl_good.h")
+        rtest = os.path.join(td, "test_relaxed.cpp")
+        for p, content in (
+            (rreg_bad, FIXTURE_RELAXED_REGISTRY_BAD),
+            (rreg_good, FIXTURE_RELAXED_REGISTRY_GOOD),
+            (rimpl_bad, FIXTURE_RELAXED_IMPL_BAD),
+            (rimpl_good, FIXTURE_RELAXED_IMPL_GOOD),
+            (rtest, FIXTURE_RELAXED_TEST_GOOD),
+        ):
+            with open(p, "w") as f:
+                f.write(content)
+        v = check_relaxed_coverage(rreg_bad, [rimpl_bad], rtest)
+        expect(
+            any("does not declare its determinism reference" in x.msg for x in v)
+            and any("no such solver is registered" in x.msg for x in v)
+            and any("no cancel_point" in x.msg for x in v)
+            and any("not exercised by" in x.msg for x in v),
+            "relaxed-coverage fires on missing ref, bad ref, missing cancel_point, untested solver",
+            failures,
+        )
+        v = check_relaxed_coverage(rreg_good, [rimpl_good], rtest)
+        expect(
+            len(v) == 0,
+            "relaxed-coverage quiet on declared+registered ref, cancel_point, tested solver",
             failures,
         )
 

@@ -48,6 +48,7 @@
 //
 // Engine knobs: --max-inflight R, --workers-per-run W, --batch-window-us U,
 // --max-batch K, --queue N, --backend B, --seed S, --max-n N,
+// --relax-k K (k-MultiQueue relaxation factor for relaxed-paradigm solvers),
 // --cache-entries N (result-cache capacity, default 256), --cache-off
 // (disable the result cache; in-flight dedup stays on).
 #include <atomic>
@@ -166,7 +167,7 @@ int usage(const char* argv0) {
                "usage: %s [--port P] [--max-inflight R] [--workers-per-run W]\n"
                "          [--batch-window-us U] [--max-batch K] [--queue N]\n"
                "          [--backend native|openmp|sequential] [--seed S] [--max-n N]\n"
-               "          [--cache-entries N] [--cache-off]\n"
+               "          [--relax-k K] [--cache-entries N] [--cache-off]\n"
                "reads newline-delimited JSON requests on stdin (and TCP port P),\n"
                "writes one JSON response line per request.\n",
                argv0);
@@ -518,6 +519,12 @@ int main(int argc, char** argv) {
                                                 std::numeric_limits<long long>::max()));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       opt.eng.ctx.seed = parse_u64(argv[0], "--seed", need("--seed"));
+    } else if (std::strcmp(argv[i], "--relax-k") == 0) {
+      // k-MultiQueue relaxation factor for relaxed-paradigm solvers; phase
+      // and sequential solvers ignore it. Zero shards is nonsense -> min 1.
+      opt.eng.ctx.relax_k = static_cast<unsigned>(
+          parse_int(argv[0], "--relax-k", need("--relax-k"), 1,
+                    std::numeric_limits<unsigned>::max()));
     } else if (std::strcmp(argv[i], "--backend") == 0) {
       const char* b = need("--backend");
       auto kind = pp::parse_backend(b);
