@@ -29,6 +29,13 @@
 // must beat the phase solver on BOTH inputs. Time is min over
 // REPRO_REPEATS (default 3 here); REPRO_SCALE scales input sizes; PP_SEED
 // the seed.
+//
+// --json emits the machine-readable envelope instead: the deterministic
+// subset only (workers=1, k=1, one rep per scenario — a single MultiQueue
+// worker pops in a seed-determined order, so popped/wasted are exact
+// counters, not schedule noise), validity-gated but with NO perf
+// assertion, so the committed BENCH_ablation_relaxed.json baseline can be
+// checked on any loaded CI box via tools/bench_baseline_check.py.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -113,7 +120,8 @@ bool valid_mis(const pp::problem_input& input, const pp::solver_value& v, int64_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::has_flag(argc, argv, "--json");
   pp::context base = bench::env_context().with_backend(pp::backend_kind::native);
   const int reps = env_repeats(3);
   const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
@@ -126,9 +134,10 @@ int main() {
   const pp::vertex_t path_n =
       static_cast<pp::vertex_t>(std::max<size_t>(1'000, bench::scaled(12'000)));
 
-  bench::banner("ablation_relaxed: phase barrier vs k-MultiQueue (speedup + wasted work)",
-                "relaxed-scheduler extension (Alistarh et al.) over Sec. 4 phase solvers",
-                base);
+  if (!json)
+    bench::banner("ablation_relaxed: phase barrier vs k-MultiQueue (speedup + wasted work)",
+                  "relaxed-scheduler extension (Alistarh et al.) over Sec. 4 phase solvers",
+                  base);
 
   scenario scenarios[] = {
       {"sssp-grid", "sssp/phase_parallel", "sssp/relaxed",
@@ -136,15 +145,60 @@ int main() {
       {"mis-path", "mis/rounds", "mis/relaxed", make_path_mis(path_n), valid_mis},
   };
 
+  auto ref_score_of = [&](const scenario& sc) -> int64_t {
+    if (sc.name != std::string("sssp-grid")) return 0;
+    auto ref = registry::run(
+        "sssp/dijkstra", sc.input,
+        pp::context{}.with_backend(pp::backend_kind::sequential).with_seed(base.seed));
+    return pp::score_of(ref.value);
+  };
+
+  if (json) {
+    // Deterministic subset: one MultiQueue worker at k=1 pops in a
+    // seed-determined order, so popped/wasted are exact counters the
+    // committed baseline can pin. No perf assertion here — validity only.
+    bool pass = true;
+    pp::json::writer w;
+    bench::begin_envelope(w, "ablation_relaxed",
+                          {"grid_side", "path_n", "seed", "pass"},
+                          {"scenario", "relaxed_solver", "workers", "k", "popped", "wasted",
+                           "valid"});
+    w.member("grid_side", static_cast<uint64_t>(grid_side));
+    w.member("path_n", static_cast<uint64_t>(path_n));
+    w.member("seed", base.seed);
+    w.key("rows").begin_array();
+    bool all_valid = true;
+    for (auto& sc : scenarios) {
+      int64_t ref_score = ref_score_of(sc);
+      pp::context ctx = base.with_workers(1).with_relax_k(1);
+      pp::run_result<pp::solver_value> pres, rres;
+      double phase_s = timed_run(sc.phase_solver, sc.input, ctx, 1, &pres);
+      double rel_s = timed_run(sc.relaxed_solver, sc.input, ctx, 1, &rres);
+      bool valid = sc.valid(sc.input, rres.value, ref_score);
+      all_valid = all_valid && valid;
+      w.begin_object();
+      w.member("scenario", sc.name);
+      w.member("relaxed_solver", sc.relaxed_solver);
+      w.member("workers", uint64_t{1});
+      w.member("k", uint64_t{1});
+      w.member("popped", static_cast<uint64_t>(rres.stats.popped));
+      w.member("wasted", static_cast<uint64_t>(rres.stats.wasted));
+      w.member("valid", valid);
+      w.member("phase_seconds", phase_s);
+      w.member("relaxed_seconds", rel_s);
+      w.end_object();
+    }
+    w.end_array();
+    pass = all_valid;
+    w.member("pass", pass);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return pass ? 0 : 1;
+  }
+
   bool pass = true;
   for (auto& sc : scenarios) {
-    int64_t ref_score = 0;
-    if (sc.name == std::string("sssp-grid")) {
-      auto ref = registry::run(
-          "sssp/dijkstra", sc.input,
-          pp::context{}.with_backend(pp::backend_kind::sequential).with_seed(base.seed));
-      ref_score = pp::score_of(ref.value);
-    }
+    int64_t ref_score = ref_score_of(sc);
     std::printf("\n-- %s (grid side %u / path n %u) --\n", sc.name, grid_side, path_n);
     std::printf("%-8s %-20s %4s %10s %8s %11s %11s %8s\n", "workers", "solver", "k", "time_ms",
                 "speedup", "popped", "wasted", "waste%");

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "core/cancel.h"
+#include "core/trace.h"
 #include "parallel/api.h"
 #include "parallel/primitives.h"
 
@@ -123,6 +124,9 @@ sssp_result delta_stepping_impl(const wgraph& g, vertex_t source, uint32_t delta
         res.stats.rounds++;
         counted_round = true;
       }
+      // Delta-stepping counts rounds directly (it never goes through
+      // phase_stats::record_frontier), so emit the round event here too.
+      trace::instant("phase/round", "round", res.stats.rounds, "frontier", active.size());
       res.stats.substeps++;
       res.stats.processed += active.size();
       for (auto v : active) settled.push_back(v);

@@ -386,6 +386,9 @@ void write_run(json::writer& w, const run_result<solver_value>& r) {
   w.member("popped", static_cast<uint64_t>(r.stats.popped));
   w.member("wasted", static_cast<uint64_t>(r.stats.wasted));
   w.member("retries", static_cast<uint64_t>(r.stats.retries));
+  // Derived (a method, so pplint's json-fields data-member sweep cannot
+  // demand it): the paper's wake-ups-per-object ratio, Table 2.
+  w.member("avg_wakeups", r.stats.avg_wakeups());
   w.end_object();
 }
 

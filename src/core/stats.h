@@ -5,6 +5,8 @@
 
 #include <cstddef>
 
+#include "core/trace.h"
+
 namespace pp {
 
 struct phase_stats {
@@ -21,6 +23,9 @@ struct phase_stats {
   size_t retries = 0;  // empty best-of-two draws + not-yet-ready re-inserts
 
   void record_frontier(size_t size) {
+    // Per-round trace event (round index + frontier size); one relaxed
+    // atomic load + branch when tracing is off.
+    trace::instant("phase/round", "round", rounds, "frontier", size);
     rounds++;
     processed += size;
     if (size > max_frontier) max_frontier = size;

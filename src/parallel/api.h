@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "core/context.h"
+#include "core/trace.h"
 #include "parallel/backend.h"
 #include "parallel/scheduler.h"
 
@@ -117,10 +118,17 @@ class scoped_scheduler {
 // detector before the lease pins the thread.
 class run_scope {
  public:
-  explicit run_scope(const context& c) : scope_(c), sched_(c), cancel_(c.cancel) {}
+  explicit run_scope(const context& c)
+      : span_("run", "workers", c.workers, "seed", c.seed),
+        scope_(c),
+        sched_(c),
+        cancel_(c.cancel) {}
   unsigned workers() const { return sched_.workers(); }
 
  private:
+  // First member: the whole-run trace span covers scheduler binding
+  // (lease acquire) through teardown (lease release).
+  trace_span span_;
   scoped_context scope_;
   scoped_scheduler sched_;
   scoped_cancel cancel_;

@@ -58,6 +58,8 @@
 
 #include "core/annotations.h"
 #include "core/context.h"
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "parallel/api.h"
 #include "parallel/random.h"
 
@@ -237,6 +239,9 @@ mq_counters mq_run(const context& ctx, multiqueue& q, Process&& process) {
 
   auto loop = [&](size_t w) {
     mq_worker self(q, ctx.seed, static_cast<unsigned>(w));
+    // One span per worker-loop chunk; popped/wasted attached at the end,
+    // once the counts exist.
+    trace_span span("mq/worker");
     uint64_t since_poll = 0;
     multiqueue::entry e;
     while (!q.aborted()) {
@@ -261,6 +266,7 @@ mq_counters mq_run(const context& ctx, multiqueue& q, Process&& process) {
       }
     }
     per_worker[w] = self.counters_;
+    span.args("popped", self.counters_.popped, "wasted", self.counters_.wasted);
   };
   // grain=1 pins one loop per slot; the loops do their own load balancing
   // through the queue, so splitting would only serialize them.
@@ -274,6 +280,12 @@ mq_counters mq_run(const context& ctx, multiqueue& q, Process&& process) {
     total.wasted += c.wasted;
     total.retries += c.retries;
   }
+  // One aggregated bump per run, not per pop: the hot loop stays free of
+  // shared-cacheline traffic.
+  metrics::catalog& m = metrics::catalog::get();
+  m.mq_popped.inc(total.popped);
+  m.mq_wasted.inc(total.wasted);
+  m.mq_retries.inc(total.retries);
   return total;
 }
 

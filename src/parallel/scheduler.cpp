@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "core/metrics.h"
+#include "core/trace.h"
+
 namespace pp::detail {
 
 namespace {
@@ -291,6 +294,8 @@ void pool_cache::set_idle_cap(size_t cap) {
 
 pool_lease::pool_lease(unsigned width) {
   assert(tl_pool == nullptr && "cannot lease a pool from inside another pool");
+  trace_span span("pool/lease_acquire", "width", width);
+  metrics::catalog::get().pool_leases.inc();
   pool_ = pool_cache::instance().acquire(width);
   pool_->attach();
 }

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/json.h"
+#include "core/metrics.h"
+#include "core/trace.h"
 
 namespace pp::serve {
 
@@ -79,9 +81,12 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
   // registry::run_batch call, and one malformed request must not fail its
   // batchmates.
   const solver_info* si = registry::instance().info(req.solver);
-  if (si == nullptr)
+  if (si == nullptr) {
+    metrics::catalog::get().serve_failed.inc();
     return ready_error("unknown solver '" + req.solver + "'", failed_, cb);
+  }
   if (si->problem != problem_name_of(req.input)) {
+    metrics::catalog::get().serve_failed.inc();
     return ready_error("solver '" + req.solver + "' expects a '" + si->problem +
                            "' input, got '" + std::string(problem_name_of(req.input)) + "'",
                        failed_, cb);
@@ -89,12 +94,15 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
   // A deadline already in the past never enters the queue: reject it here
   // (an `expired` response) instead of letting it occupy bounded capacity
   // just to be dropped at pop time.
-  if (req.deadline && *req.deadline <= std::chrono::steady_clock::now())
+  if (req.deadline && *req.deadline <= std::chrono::steady_clock::now()) {
+    metrics::catalog::get().serve_expired.inc();
     return ready_error("expired: deadline passed before admission", expired_, cb);
+  }
 
   pending p;
   p.solver = std::move(req.solver);
   p.input = std::move(req.input);
+  p.submit_time = std::chrono::steady_clock::now();
   p.deadline = req.deadline;
   p.prio = req.prio;
   p.cb = std::move(cb);
@@ -108,15 +116,20 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
   bool from_cache = false;
   {
     sync::unique_lock<sync::mutex> lk(m_);
-    // Spelled as a loop, not wait(lk, pred): the predicate reads
-    // m_-guarded state, and a lambda is analyzed by -Wthread-safety as a
-    // separate function that cannot see the lock is held at the call site.
-    while (!stopping_ && queued_locked() >= opts_.queue_capacity) not_full_.wait(lk);
+    {
+      // Backpressure wait: how long admission blocked on a full queue.
+      trace_span qw("serve/queue_wait");
+      // Spelled as a loop, not wait(lk, pred): the predicate reads
+      // m_-guarded state, and a lambda is analyzed by -Wthread-safety as a
+      // separate function that cannot see the lock is held at the call site.
+      while (!stopping_ && queued_locked() >= opts_.queue_capacity) not_full_.wait(lk);
+    }
     if (stopping_) {
       lk.unlock();
       response r;
       r.error = "engine stopped";
       failed_.fetch_add(1, std::memory_order_relaxed);
+      metrics::catalog::get().serve_failed.inc();
       deliver(p, std::move(r));
       return fut;
     }
@@ -124,20 +137,30 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
     if (cache_lookup_locked(key_of(p), hit)) {
       from_cache = true;  // delivered below, outside the lock
     } else {
-      if (opts_.cache_entries > 0) cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (opts_.cache_entries > 0) {
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        metrics::catalog::get().serve_cache_misses.inc();
+      }
       if (attach_dup_locked(p)) {
         // Collapsed onto an identical execution: no queue entry, no
         // notify (nothing new became runnable).
         deduped_.fetch_add(1, std::memory_order_relaxed);
+        metrics::catalog::get().serve_deduped.inc();
         return fut;
       }
       queues_[queue_index(p.prio)].push_back(std::move(p));
       submitted_.fetch_add(1, std::memory_order_relaxed);
+      metrics::catalog::get().serve_submitted.inc();
+      metrics::catalog::get().serve_queue_depth.set(
+          static_cast<int64_t>(queued_locked()));
     }
   }
   if (from_cache) {
+    trace::instant("serve/cache_hit");
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    metrics::catalog::get().serve_cache_hits.inc();
     completed_.fetch_add(1, std::memory_order_relaxed);
+    metrics::catalog::get().serve_completed.inc();
     deliver(p, std::move(hit));
     return fut;
   }
@@ -374,8 +397,13 @@ void engine::executor_loop() {
         // entries encountered on the way are dropped leaselessly like at
         // pop time.
         std::deque<pending>& q = queues_[queue_index(cls)];
-        if (gather_locked(q, solver, cls, batch, dead)) not_full_.notify_all();
+        {
+          trace_span g("serve/gather");
+          if (gather_locked(q, solver, cls, batch, dead)) not_full_.notify_all();
+        }
         if (opts_.batch_window.count() > 0) {
+          // Coalesce: the batch-window wait for same-solver late arrivals.
+          trace_span co("serve/coalesce");
           auto window_end = std::chrono::steady_clock::now() + opts_.batch_window;
           while (batch.size() < opts_.max_batch && !stopping_) {
             if (not_empty_.wait_until(lk, window_end) == std::cv_status::timeout) {
@@ -384,6 +412,7 @@ void engine::executor_loop() {
             }
             if (gather_locked(q, solver, cls, batch, dead)) not_full_.notify_all();
           }
+          co.args("batch", batch.size());
         }
         // The flush is decided: freeze each entry's cancellability and
         // absorb window-time joiners. Post-seal joiners keep accumulating
@@ -391,6 +420,8 @@ void engine::executor_loop() {
         // completion.
         for (auto& p : batch) seal_for_flush_locked(p);
       }
+      metrics::catalog::get().serve_queue_depth.set(
+          static_cast<int64_t>(queued_locked()));
     }
     not_full_.notify_all();
     for (auto& p : dead) deliver_expired(p);
@@ -410,6 +441,8 @@ void engine::executor_loop() {
 
 void engine::execute(std::vector<pending> batch) {
   unsigned now = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  metrics::catalog::get().serve_inflight.add(1);
+  metrics::catalog::get().serve_batch_size.observe(batch.size());
   unsigned peak = peak_inflight_.load(std::memory_order_relaxed);
   while (now > peak &&
          !peak_inflight_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
@@ -440,8 +473,10 @@ void engine::execute(std::vector<pending> batch) {
   auto t0 = std::chrono::steady_clock::now();
   size_t delivered = 0;  // entries already resolved; never re-delivered on error
   try {
+    trace_span flush("serve/flush", "batch", batch.size());
     auto br = registry::run_batch(batch.front().solver,
                                   std::span<const problem_input>(inputs), exec_ctx_, opts);
+    flush.end();
     exec_nanos_.fetch_add(
         static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                   std::chrono::steady_clock::now() - t0)
@@ -470,16 +505,22 @@ void engine::execute(std::vector<pending> batch) {
       // finished envelopes.
       for (auto& w : waiters) {
         response copy = r;
-        if (ok_item)
+        if (ok_item) {
           completed_.fetch_add(1, std::memory_order_relaxed);
-        else
+          metrics::catalog::get().serve_completed.inc();
+        } else {
           cancelled_.fetch_add(1, std::memory_order_relaxed);
+          metrics::catalog::get().serve_cancelled.inc();
+        }
         deliver(w, std::move(copy));
       }
-      if (ok_item)
+      if (ok_item) {
         completed_.fetch_add(1, std::memory_order_relaxed);
-      else
+        metrics::catalog::get().serve_completed.inc();
+      } else {
         cancelled_.fetch_add(1, std::memory_order_relaxed);
+        metrics::catalog::get().serve_cancelled.inc();
+      }
       deliver(p, std::move(r));
     }
   } catch (const std::exception& e) {
@@ -493,6 +534,7 @@ void engine::execute(std::vector<pending> batch) {
     fail_from(batch, delivered, "solver threw a non-std exception");
   }
   inflight_.fetch_sub(1, std::memory_order_relaxed);
+  metrics::catalog::get().serve_inflight.sub(1);
 }
 
 void engine::fail_from(std::vector<pending>& batch, size_t first, const char* what) {
@@ -505,6 +547,7 @@ void engine::fail_from(std::vector<pending>& batch, size_t first, const char* wh
       finish_running_locked(batch[i], nullptr, waiters);
     }
     failed_.fetch_add(1 + waiters.size(), std::memory_order_relaxed);
+    metrics::catalog::get().serve_failed.inc(1 + waiters.size());
     for (auto& w : waiters) {
       response r;
       r.error = what;
@@ -517,6 +560,17 @@ void engine::fail_from(std::vector<pending>& batch, size_t first, const char* wh
 }
 
 void engine::deliver(pending& p, response&& r) {
+  // Per-class submit-to-delivery latency (cache hits and errors count
+  // too — the client waited exactly this long either way). Entries that
+  // never passed admission have a zero submit_time and are skipped.
+  if (p.submit_time.time_since_epoch().count() != 0) {
+    auto usec = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - p.submit_time)
+                    .count();
+    metrics::catalog& m = metrics::catalog::get();
+    (p.prio == priority::interactive ? m.serve_latency_interactive : m.serve_latency_batch)
+        .observe(static_cast<uint64_t>(usec < 0 ? 0 : usec));
+  }
   if (p.cb) {
     detail::guarded_invoke(p.cb, std::move(r));
   } else {
@@ -526,6 +580,7 @@ void engine::deliver(pending& p, response&& r) {
 
 void engine::deliver_expired(pending& p) {
   expired_.fetch_add(1, std::memory_order_relaxed);
+  metrics::catalog::get().serve_expired.inc();
   response r;
   r.error = "expired: deadline passed while queued";
   deliver(p, std::move(r));
@@ -551,11 +606,13 @@ void engine::stop(bool drain) {
       response r;
       r.error = "engine stopped";
       failed_.fetch_add(1, std::memory_order_relaxed);
+      metrics::catalog::get().serve_failed.inc();
       deliver(f, std::move(r));
     }
     response r;
     r.error = "engine stopped";
     failed_.fetch_add(1, std::memory_order_relaxed);
+    metrics::catalog::get().serve_failed.inc();
     deliver(p, std::move(r));
   }
   std::call_once(join_once_, [&] {

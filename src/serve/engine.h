@@ -261,6 +261,9 @@ class engine {
     std::string solver;
     problem_input input;
     fingerprint fp;  // canonical input fingerprint (computed at admission)
+    // Admission timestamp, for the per-class latency histograms
+    // (pp_serve_latency_*_usec in core/metrics.h).
+    std::chrono::steady_clock::time_point submit_time{};
     uint64_t seed = 0;
     std::optional<std::chrono::steady_clock::time_point> deadline;
     priority prio = priority::interactive;

@@ -20,6 +20,13 @@ And the PR-7 result cache end to end:
      ("cached": true, identical result envelope); --cache-off disables
      that; --cache-entries validates like every other count flag (0 is
      spelled --cache-off, so 0 and negatives exit 2).
+
+And the PR-9 observability surface:
+  6. {"metrics":true} answers with the Prometheus text rendering of the
+     pp::metrics registry (as a JSON string member), whose counters moved
+     with the traffic this test just sent; --metrics-port serves the same
+     text over raw HTTP GET /metrics (200, text/plain) and 404s any other
+     path; bad --metrics-port values exit 2 like every other flag.
 """
 import json
 import random
@@ -197,5 +204,88 @@ check(r1["ok"] and r1["cached"] is False and r2["ok"] and r2["cached"] is False,
       "--cache-off: repeat executed again")
 check(st["stats"]["cache_hits"] == 0 and st["stats"]["cache_misses"] == 0,
       f"--cache-off: no cache counters tick ({st})")
+
+# ---- 6. observability: {"metrics":true} and --metrics-port -------------------
+
+
+def prom_value(text, name):
+    """Value of an unlabelled sample line 'name N' in Prometheus text."""
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) == 2 and parts[0] == name:
+            return float(parts[1])
+    return None
+
+r1, r2, m = interactive_session(
+    ["--seed", str(BASE_SEED)], [REQ, REQ, {"metrics": True}])
+check(r1["ok"] and r2["ok"] and m["ok"], "metrics exchange succeeded")
+check(isinstance(m.get("metrics"), str) and "# TYPE" in m["metrics"],
+      "metrics response carries Prometheus text as a JSON string")
+prom = m["metrics"]
+for name in ("pp_serve_submitted_total", "pp_serve_queue_depth", "pp_serve_cache_hits_total",
+             "pp_serve_batch_size", "pp_pool_leases_total"):
+    check(name in prom, f"metric family {name} present in the rendering")
+# Both responses were read before the metrics line was sent, so the
+# process-wide counters must reflect that traffic: one executed solve
+# (miss), one cache hit, both delivered.
+check(prom_value(prom, "pp_serve_submitted_total") == 1,
+      "submitted counter moved with the executed request")
+check(prom_value(prom, "pp_serve_cache_hits_total") == 1
+      and prom_value(prom, "pp_serve_completed_total") == 2,
+      "cache-hit and completed counters moved with the traffic")
+check(prom_value(prom, "pp_serve_batch_size_count") >= 1,
+      "batch-size histogram observed the flush")
+
+rc, out, err = run(["--metrics-port", "0"])
+check(rc == 2, f"--metrics-port 0 rejected with exit 2 (got {rc})")
+rc, out, err = run(["--metrics-port", "banana"])
+check(rc == 2, f"--metrics-port banana rejected with exit 2 (got {rc})")
+
+
+def http_get(port, path):
+    """One-shot HTTP/1.0 GET; returns the raw response text."""
+    with socket.create_connection(("127.0.0.1", port), timeout=5) as s:
+        s.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        chunks = []
+        while True:
+            b = s.recv(4096)
+            if not b:
+                break
+            chunks.append(b)
+    return b"".join(chunks).decode()
+
+
+proc, raw = None, None
+for attempt in range(5):
+    port = random.randint(20000, 50000)
+    proc = subprocess.Popen(
+        [PPSERVE, "--metrics-port", str(port), "--workers-per-run", "1"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+    for _ in range(80):
+        try:
+            raw = http_get(port, "/metrics")
+            break
+        except OSError:
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+    if raw is not None:
+        break
+    proc.kill()
+    proc.wait()
+try:
+    check(raw is not None, "metrics HTTP listener came up")
+    check(raw.startswith("HTTP/1.0 200") and "text/plain" in raw,
+          f"GET /metrics answers 200 text/plain ({raw.splitlines()[:1]})")
+    check("pp_serve_submitted_total" in raw and "# TYPE" in raw,
+          "HTTP body is the Prometheus rendering")
+    check(http_get(port, "/other").startswith("HTTP/1.0 404"), "GET /other answers 404")
+finally:
+    if proc is not None:
+        proc.stdin.close()
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
 
 print("ALL PASS")

@@ -1,6 +1,7 @@
 // ppdriver: registry-driven CLI for every solver in the library.
 //
-//   ppdriver list                      # all solvers (name, problem, description)
+//   ppdriver list [--json]             # all solvers (name, problem, paradigm,
+//                                      # relax knob, phase ref, description)
 //   ppdriver problems                  # all problems + default input descriptors
 //   ppdriver run <solver> [options]    # generate an input, run, print the envelope
 //   ppdriver batch <solver> [options]  # generate K inputs, run them as one batch
@@ -24,6 +25,9 @@
 //                      input + seed each repeat); every repeat's envelope
 //                      survives into --json output, which is always the
 //                      batch envelope (count == R, even for R = 1)
+//   --trace PATH       enable the in-process tracer (core/trace.h) for the
+//                      run and dump a Chrome trace-event JSON file to PATH
+//                      (load it in Perfetto / chrome://tracing)
 //
 // batch options:
 //   --count K          number of inputs in the batch (default 8)
@@ -33,6 +37,7 @@
 // Examples:
 //   ppdriver run lis/parallel --n 1000000 --backend openmp --workers 8
 //   ppdriver batch lis/parallel --count 8 --n 20000 --json
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,16 +45,18 @@
 #include <string>
 #include <vector>
 
+#include "core/json.h"
 #include "core/registry.h"
+#include "core/trace.h"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s list | problems\n"
+               "usage: %s list [--json] | problems\n"
                "       %s run <solver>   [--n N] [--seed S] [--backend B] [--workers W]\n"
                "                         [--grain G] [--pivot rightmost|random] [--relax-k K]\n"
-               "                         [--repeats R] [--json]\n"
+               "                         [--repeats R] [--trace PATH] [--json]\n"
                "       %s batch <solver> [--count K] [--n N] [--seed S] [--backend B]\n"
                "                         [--workers W] [--grain G] [--pivot rightmost|random]\n"
                "                         [--relax-k K] [--order as_given|shuffled] [--json]\n"
@@ -58,12 +65,46 @@ int usage(const char* argv0) {
   return 2;
 }
 
-int cmd_list() {
+// Relaxed solvers name their determinism reference inside the description
+// ("phase ref: <solver>" — the same convention tools/pplint.py's
+// relaxed-coverage rule enforces). Empty for phase/sequential solvers.
+std::string phase_ref_of(const pp::solver_info& s) {
+  static constexpr std::string_view kTag = "phase ref: ";
+  size_t at = s.description.find(kTag);
+  if (at == std::string::npos) return {};
+  size_t begin = at + kTag.size();
+  size_t end = begin;
+  while (end < s.description.size() &&
+         (std::isalnum(static_cast<unsigned char>(s.description[end])) ||
+          s.description[end] == '/' || s.description[end] == '_'))
+    ++end;
+  return s.description.substr(begin, end - begin);
+}
+
+int cmd_list(bool json) {
+  auto& reg = pp::registry::instance();
+  if (json) {
+    pp::json::writer w;
+    w.begin_object().key("solvers").begin_array();
+    for (const auto& s : reg.solvers()) {
+      w.begin_object();
+      w.member("name", s.name);
+      w.member("problem", s.problem);
+      w.member("paradigm", pp::paradigm_name(pp::paradigm_of(s)));
+      w.member("relax_knob", pp::accepts_relax_knob(s));
+      w.member("phase_ref", phase_ref_of(s));
+      w.member("description", s.description);
+      w.end_object();
+    }
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
   // paradigm: sequential | phase | relaxed (see core/registry.h); relax-k
   // marks the solvers that honor the --relax-k knob.
   std::printf("%-32s %-10s %-10s %-7s %s\n", "solver", "problem", "paradigm", "relax-k",
               "description");
-  for (const auto& s : pp::registry::instance().solvers())
+  for (const auto& s : reg.solvers())
     std::printf("%-32s %-10s %-10s %-7s %s\n", s.name.c_str(), s.problem.c_str(),
                 pp::paradigm_name(pp::paradigm_of(s)), pp::accepts_relax_knob(s) ? "yes" : "-",
                 s.description.c_str());
@@ -80,8 +121,9 @@ int cmd_problems() {
 // Options shared by `run` and `batch`.
 struct cli_options {
   size_t n = 100'000;
-  int repeats = 1;       // run only
-  size_t count = 8;      // batch only
+  int repeats = 1;         // run only
+  std::string trace_path;  // run only: dump Chrome trace JSON here
+  size_t count = 8;        // batch only
   bool json = false;
   pp::batch_options::item_order order = pp::batch_options::item_order::as_given;
   pp::context ctx = pp::default_context();
@@ -136,6 +178,12 @@ int parse_options(int argc, char** argv, bool batch_mode, cli_options& opt) {
     } else if (!batch_mode && std::strcmp(argv[i], "--repeats") == 0) {
       opt.repeats = std::atoi(need("--repeats"));
       if (opt.repeats < 1) opt.repeats = 1;
+    } else if (!batch_mode && std::strcmp(argv[i], "--trace") == 0) {
+      opt.trace_path = need("--trace");
+      if (opt.trace_path.empty()) {
+        std::fprintf(stderr, "%s: --trace needs a non-empty path\n", argv[0]);
+        return 2;
+      }
     } else if (batch_mode && std::strcmp(argv[i], "--count") == 0) {
       opt.count = static_cast<size_t>(std::strtoull(need("--count"), nullptr, 10));
       if (opt.count < 1) opt.count = 1;
@@ -212,10 +260,25 @@ int cmd_run(int argc, char** argv) {
   // every repeat's envelope kept (not just min/mean scalars).
   pp::batch_options bopts;
   bopts.derive_seeds = false;
+  const bool tracing = !opt.trace_path.empty();
+  if (tracing) {
+    pp::trace::clear();
+    pp::trace::set_enabled(true);
+  }
   auto batch = pp::registry::run_batch(solver, input, static_cast<size_t>(opt.repeats), opt.ctx,
                                        bopts);
+  if (tracing) {
+    pp::trace::set_enabled(false);
+    if (!pp::trace::write_chrome_json(opt.trace_path)) {
+      std::fprintf(stderr, "%s: cannot write trace file '%s'\n", argv[0], opt.trace_path.c_str());
+      return 1;
+    }
+  }
 
   if (opt.json) {
+    if (tracing)
+      std::fprintf(stderr, "trace: %zu records -> %s\n", pp::trace::record_count(),
+                   opt.trace_path.c_str());
     // Always the batch envelope (count == repeats), so consumers get one
     // stable schema whether R is 1 or 100.
     std::printf("%s\n", pp::to_json(batch).c_str());
@@ -230,6 +293,9 @@ int cmd_run(int argc, char** argv) {
     std::printf("time     = %.6f s\n", last.seconds);
   }
   print_stats_text(last.stats);
+  if (tracing)
+    std::printf("trace    = %s (%zu records)\n", opt.trace_path.c_str(),
+                pp::trace::record_count());
   return 0;
 }
 
@@ -335,7 +401,8 @@ int cmd_golden(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   try {
-    if (std::strcmp(argv[1], "list") == 0) return cmd_list();
+    if (std::strcmp(argv[1], "list") == 0)
+      return cmd_list(argc > 2 && std::strcmp(argv[2], "--json") == 0);
     if (std::strcmp(argv[1], "problems") == 0) return cmd_problems();
     if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
     if (std::strcmp(argv[1], "batch") == 0) return cmd_batch(argc, argv);

@@ -44,6 +44,14 @@ codebase depends on for correctness and reproducibility:
                        (c) be exercised by tests/test_relaxed.cpp. Relaxed
                        solvers are exempt from the golden table, so this
                        rule is what keeps their oracle and coverage honest.
+  metrics-coverage     Every metric name literal registered in
+                       src/core/metrics.cpp (the single place names may
+                       live) must appear in tests/test_trace.cpp (the
+                       Prometheus golden) and in README.md (the metrics
+                       catalog). A counter that ships unrendered-in-docs or
+                       untested is invisible twice over; this rule makes
+                       adding a metric force both the golden and the
+                       catalog forward in the same commit.
 
 Usage:
   tools/pplint.py [--root DIR]     lint the tree (exit 1 on violations)
@@ -481,6 +489,57 @@ def check_relaxed_coverage(registry_path, impl_paths, test_path):
 
 
 # --------------------------------------------------------------------------
+# Rule: metrics-coverage
+
+
+def check_metrics_coverage(metrics_path, consumer_paths):
+    """Every registered metric name ("pp_..." literals in the catalog
+    constructor — src/core/metrics.cpp keeps them nowhere else) must appear
+    verbatim in every consumer: the test golden and the README catalog."""
+    out = []
+    with open(metrics_path, encoding="utf-8") as f:
+        raw = f.read()
+    names = sorted(set(re.findall(r'\(\s*"(pp_[a-z0-9_]+)"', raw)))
+    if not names:
+        out.append(
+            Violation(
+                metrics_path,
+                1,
+                "metrics-coverage",
+                "no metric name literals ('(\"pp_...\"') found; the catalog "
+                "registration pattern changed and the rule lost its anchor",
+            )
+        )
+        return out
+    for path in consumer_paths:
+        if not os.path.exists(path):
+            out.append(
+                Violation(
+                    metrics_path,
+                    1,
+                    "metrics-coverage",
+                    "metric consumer %s does not exist" % os.path.basename(path),
+                )
+            )
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for name in names:
+            if name not in text:
+                out.append(
+                    Violation(
+                        path,
+                        1,
+                        "metrics-coverage",
+                        "metric '%s' (registered in src/core/metrics.cpp) is "
+                        "missing from %s — every metric must be in the test "
+                        "golden and the README catalog" % (name, os.path.basename(path)),
+                    )
+                )
+    return out
+
+
+# --------------------------------------------------------------------------
 # Driver
 
 JSON_SPEC = [
@@ -521,6 +580,12 @@ def lint_tree(root):
             registry, relaxed_impls, os.path.join(root, "tests", "test_relaxed.cpp")
         )
     violations += check_json_fields(root, [s for s in JSON_SPEC if os.path.exists(os.path.join(root, s[1]))])
+    metrics_cpp = os.path.join(root, "src", "core", "metrics.cpp")
+    if os.path.exists(metrics_cpp):
+        violations += check_metrics_coverage(
+            metrics_cpp,
+            [os.path.join(root, "tests", "test_trace.cpp"), os.path.join(root, "README.md")],
+        )
     registry_h = os.path.join(root, "src", "core", "registry.h")
     if os.path.exists(registry_h):
         with open(registry_h, encoding="utf-8") as f:
@@ -668,6 +733,24 @@ using problem_input =
 """
 
 
+FIXTURE_METRICS_REG = """
+catalog::catalog()
+    : serve_submitted("pp_serve_submitted_total", "Requests admitted"),
+      queue_depth("pp_serve_queue_depth", "Entries queued") {
+  counters_.push_back(&serve_submitted);
+}
+"""
+
+FIXTURE_METRICS_CONSUMER_GOOD = """
+pp_serve_submitted_total — requests admitted.
+pp_serve_queue_depth — entries queued right now.
+"""
+
+FIXTURE_METRICS_CONSUMER_BAD = """
+pp_serve_submitted_total — requests admitted. (queue depth undocumented)
+"""
+
+
 def expect(cond, what, failures):
     if cond:
         print("  ok: %s" % what)
@@ -757,6 +840,34 @@ def self_test():
         expect(
             len(v) == 0,
             "relaxed-coverage quiet on declared+registered ref, cancel_point, tested solver",
+            failures,
+        )
+
+        mreg = os.path.join(td, "metrics.cpp")
+        mgood = os.path.join(td, "consumer_good.md")
+        mbad = os.path.join(td, "consumer_bad.md")
+        for p, content in (
+            (mreg, FIXTURE_METRICS_REG),
+            (mgood, FIXTURE_METRICS_CONSUMER_GOOD),
+            (mbad, FIXTURE_METRICS_CONSUMER_BAD),
+        ):
+            with open(p, "w") as f:
+                f.write(content)
+        v = check_metrics_coverage(mreg, [mbad])
+        expect(
+            len(v) == 1 and v[0].rule == "metrics-coverage" and "pp_serve_queue_depth" in v[0].msg,
+            "metrics-coverage fires on a metric missing from a consumer",
+            failures,
+        )
+        v = check_metrics_coverage(mreg, [mgood])
+        expect(len(v) == 0, "metrics-coverage quiet when every name is documented", failures)
+        empty = os.path.join(td, "empty_metrics.cpp")
+        with open(empty, "w") as f:
+            f.write("// no registrations here\n")
+        v = check_metrics_coverage(empty, [mgood])
+        expect(
+            len(v) == 1 and "lost its anchor" in v[0].msg,
+            "metrics-coverage fires when the registration anchor vanishes",
             failures,
         )
 

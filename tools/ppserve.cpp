@@ -31,6 +31,10 @@
 //   stats        true: respond with the engine_stats counters (submitted /
 //                completed / failed / expired / cancelled / batches / ...)
 //                instead of running a solver
+//   metrics      true: respond with the process-wide pp::metrics registry
+//                rendered in Prometheus text exposition format, carried as
+//                a JSON string member "metrics" (same text GET /metrics on
+//                --metrics-port serves)
 //
 // response fields: id, ok, and either "result" (the run_result envelope
 // pp::to_json emits), "stats" (for stats requests), or "error". Successful
@@ -45,6 +49,20 @@
 //                 the process, so a TCP-only deployment uses  ppserve
 //                 --port P < /dev/null  under a supervisor... or just
 //                 keeps stdin open.
+//   --metrics-port P
+//                 loopback HTTP scrape endpoint: GET /metrics answers 200
+//                 with the Prometheus text rendering of the pp::metrics
+//                 registry; any other request answers 404. One request per
+//                 connection (Connection: close).
+//   --trace-dir DIR
+//                 enable the in-process tracer (core/trace.h) and, as each
+//                 response line is written, dump a Chrome trace-event JSON
+//                 snapshot to DIR/<id>.json (id sanitized to
+//                 [A-Za-z0-9._-]; later requests with the same id
+//                 overwrite). Each file is the tracer's ring-buffer
+//                 content at response time — in a concurrent daemon it
+//                 shows the server timeline around that request, not that
+//                 request alone. Load in Perfetto / chrome://tracing.
 //
 // Engine knobs: --max-inflight R, --workers-per-run W, --batch-window-us U,
 // --max-batch K, --queue N, --backend B, --seed S, --max-n N,
@@ -52,6 +70,7 @@
 // --cache-entries N (result-cache capacity, default 256), --cache-off
 // (disable the result cache; in-flight dedup stays on).
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -69,7 +88,9 @@
 
 #include "core/annotations.h"
 #include "core/json.h"
+#include "core/metrics.h"
 #include "core/registry.h"
+#include "core/trace.h"
 #include "serve/engine.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -87,7 +108,9 @@ namespace {
 
 struct daemon_options {
   pp::serve::engine_options eng;
-  int port = -1;  // -1 = stdin/stdout only
+  int port = -1;          // -1 = stdin/stdout only
+  int metrics_port = -1;  // -1 = no HTTP scrape endpoint
+  std::string trace_dir;  // empty = tracer off
   // Largest accepted request "n". The input factories allocate O(n) (the
   // graph ones ~8n edges); without a cap one request line could ask for
   // hundreds of GB and get the daemon OOM-killed instead of answering
@@ -96,6 +119,22 @@ struct daemon_options {
 };
 
 size_t g_max_n = 10'000'000;
+std::string g_trace_dir;  // set once before any session starts, read-only after
+
+// Request ids become trace file names; ids are client-controlled raw JSON
+// text, so strip the quotes of string ids and reduce to [A-Za-z0-9._-]
+// (no separators, no traversal, no dotfiles).
+std::string sanitize_id(std::string id) {
+  if (id.size() >= 2 && id.front() == '"' && id.back() == '"')
+    id = id.substr(1, id.size() - 2);
+  if (id.empty()) id = "request";
+  if (id.size() > 80) id.resize(80);
+  for (char& c : id)
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' && c != '_' && c != '.')
+      c = '_';
+  if (id[0] == '.') id[0] = '_';
+  return id;
+}
 
 // Re-serialize a parsed JSON value (the verbatim-echo path for request
 // ids: numbers, strings, bools, even structured ids survive unchanged).
@@ -164,7 +203,8 @@ uint64_t parse_u64(const char* argv0, const char* flag, const char* text) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port P] [--max-inflight R] [--workers-per-run W]\n"
+               "usage: %s [--port P] [--metrics-port P] [--trace-dir DIR]\n"
+               "          [--max-inflight R] [--workers-per-run W]\n"
                "          [--batch-window-us U] [--max-batch K] [--queue N]\n"
                "          [--backend native|openmp|sequential] [--seed S] [--max-n N]\n"
                "          [--relax-k K] [--cache-entries N] [--cache-off]\n"
@@ -213,6 +253,14 @@ struct session {
         return;
       }
       enqueue_stats(id);
+      return;
+    }
+    if (const pp::json::value* v = doc.find("metrics")) {
+      if (!v->is_bool() || !v->as_bool()) {
+        enqueue_error(id, "request \"metrics\" must be true");
+        return;
+      }
+      enqueue_metrics(id);
       return;
     }
     const pp::json::value* solver = doc.find("solver");
@@ -327,6 +375,10 @@ struct session {
       } else if (!e.stats.empty()) {
         w.member("ok", true);
         w.key("stats").value_raw(e.stats);
+      } else if (!e.metrics.empty()) {
+        w.member("ok", true);
+        // Prometheus text is not JSON — it rides as a string member.
+        w.member("metrics", e.metrics);
       } else {
         w.member("ok", false);
         w.member("error", e.err);
@@ -334,6 +386,8 @@ struct session {
       w.end_object();
       std::fprintf(out, "%s\n", w.str().c_str());
       std::fflush(out);
+      if (!g_trace_dir.empty())
+        pp::trace::write_chrome_json(g_trace_dir + "/" + sanitize_id(e.id) + ".json");
     }
   }
 
@@ -347,9 +401,10 @@ struct session {
 
  private:
   struct entry {
-    std::string id;                        // raw JSON text (number or string)
-    std::future<pp::serve::response> fut;  // invalid => `stats` or `err` below
+    std::string id;  // raw JSON text (number or string)
+    std::future<pp::serve::response> fut;  // invalid => a field below answers
     std::string stats;                     // raw JSON: engine_stats snapshot
+    std::string metrics;                   // Prometheus text: metrics snapshot
     std::string err;
   };
 
@@ -374,6 +429,14 @@ struct session {
     entry e;
     e.id = std::move(id);
     e.stats = pp::serve::to_json(eng_.stats());
+    push(std::move(e));
+  }
+
+  // Point-in-time Prometheus rendering of the process-wide metric registry.
+  void enqueue_metrics(std::string id) {
+    entry e;
+    e.id = std::move(id);
+    e.metrics = pp::metrics::render_prometheus();
     push(std::move(e));
   }
 
@@ -404,6 +467,63 @@ void serve_stream(pp::serve::engine& eng, FILE* in, FILE* out) {
 }
 
 #if PPSERVE_HAS_TCP
+// Minimal loopback HTTP/1.0 scrape endpoint: GET /metrics -> 200 with the
+// Prometheus text rendering, anything else -> 404. One request per
+// connection, served sequentially — a scrape is a few KB of formatting,
+// and Prometheus polls on the order of seconds.
+void serve_metrics_http(int port) {
+  std::signal(SIGPIPE, SIG_IGN);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("ppserve: metrics socket");
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    std::perror("ppserve: metrics bind/listen");
+    ::close(fd);
+    return;
+  }
+  std::fprintf(stderr, "ppserve: metrics on http://127.0.0.1:%d/metrics\n", port);
+  for (;;) {
+    int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      std::perror("ppserve: metrics accept");
+      break;
+    }
+    // The request line fits in one read for any real scraper; everything
+    // past it (headers) is irrelevant to routing.
+    char buf[2048];
+    ssize_t got = ::recv(client, buf, sizeof(buf) - 1, 0);
+    std::string head(buf, got > 0 ? static_cast<size_t>(got) : 0);
+    bool found = head.rfind("GET /metrics", 0) == 0;
+    std::string body = found ? pp::metrics::render_prometheus() : "not found\n";
+    char hdr[256];
+    std::snprintf(hdr, sizeof(hdr),
+                  "HTTP/1.0 %s\r\n"
+                  "Content-Type: %s\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n\r\n",
+                  found ? "200 OK" : "404 Not Found",
+                  found ? "text/plain; version=0.0.4; charset=utf-8" : "text/plain",
+                  body.size());
+    (void)::send(client, hdr, std::strlen(hdr), 0);
+    (void)::send(client, body.data(), body.size(), 0);
+    ::close(client);
+  }
+  ::close(fd);
+}
+
 void serve_tcp(pp::serve::engine& eng, int port) {
   // A client that disconnects before reading its response must not kill
   // the daemon: writes to its closed socket should fail with EPIPE, not
@@ -481,6 +601,15 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--port") == 0) {
       opt.port = static_cast<int>(parse_int(argv[0], "--port", need("--port"), 1, 65535));
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0) {
+      opt.metrics_port = static_cast<int>(
+          parse_int(argv[0], "--metrics-port", need("--metrics-port"), 1, 65535));
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      opt.trace_dir = need("--trace-dir");
+      if (opt.trace_dir.empty()) {
+        std::fprintf(stderr, "%s: --trace-dir needs a non-empty directory\n", argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--max-inflight") == 0) {
       // 0 is clamped to one executor HERE, visibly, instead of relying on
       // the engine constructor's silent fixup.
@@ -539,14 +668,22 @@ int main(int argc, char** argv) {
   }
 
   g_max_n = opt.max_n;
+  if (!opt.trace_dir.empty()) {
+    g_trace_dir = opt.trace_dir;
+    pp::trace::set_enabled(true);
+  }
   pp::serve::engine eng(opt.eng);
 
 #if PPSERVE_HAS_TCP
   std::thread tcp;
   if (opt.port >= 0) tcp = std::thread([&] { serve_tcp(eng, opt.port); });
+  // Detached: the scrape endpoint reads process-wide metrics only, and the
+  // daemon must still exit at stdin EOF when --port was not given.
+  if (opt.metrics_port >= 0)
+    std::thread([p = opt.metrics_port] { serve_metrics_http(p); }).detach();
 #else
-  if (opt.port >= 0) {
-    std::fprintf(stderr, "%s: --port not supported on this platform\n", argv[0]);
+  if (opt.port >= 0 || opt.metrics_port >= 0) {
+    std::fprintf(stderr, "%s: --port/--metrics-port not supported on this platform\n", argv[0]);
     return 2;
   }
 #endif
