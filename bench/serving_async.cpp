@@ -24,6 +24,17 @@
 // batching-off (each flush pays one lease for many requests), with the
 // gap widening as solve time shrinks.
 //
+// Output: the human table, or with --json a single JSON envelope whose
+// deterministic_top / deterministic_row lists tell the generic checker
+// (tools/bench_baseline_check.py) which fields the committed baseline
+// BENCH_serving_async.json locks in CI: the per-mode score folds and the
+// cross-mode agreement (batching must never change answers). Leases,
+// flushes, and every latency number depend on timing — how many requests
+// coalesce per window is scheduler luck — so they are reported, never
+// compared. Regenerate with
+// `bench/serving_async --json > BENCH_serving_async.json` after an
+// intentional change.
+//
 // Env: REPRO_SCALE scales n (default 100 per request), PP_SEED the base
 // seed, PP_BACKEND the execution backend. Engine executors default to 2
 // with an even machine partition per run.
@@ -35,6 +46,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/json.h"
 #include "core/registry.h"
 #include "parallel/scheduler.h"
 #include "serve/engine.h"
@@ -134,40 +146,83 @@ mode_result run_mode(size_t clients, size_t per_client, size_t n, bool batching,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = bench::has_flag(argc, argv, "--json");
   pp::context base = bench::env_context();
-  bench::banner("serving_async: engine throughput/latency, micro-batching on vs off",
-                "ROADMAP: async serving engine (admission control + dynamic batching)", base);
 
   const size_t n = bench::scaled(100);
   const size_t per_client = 32;
   const size_t client_counts[] = {1, 8, 32};
 
-  std::printf("%s, n = %zu per request, %zu requests per client, closed loop\n"
-              "overhead us/req = (engine exec seconds - sum of per-item solve seconds) / requests\n\n",
-              kSolver, n, per_client);
-  std::printf("%8s %6s %10s %10s %10s %10s %9s %9s %16s %6s\n", "clients", "batch", "wall s",
-              "req/s", "p50 us", "p95 us", "leases", "flushes", "overhead us/req", "agree");
+  if (!json) {
+    bench::banner("serving_async: engine throughput/latency, micro-batching on vs off",
+                  "ROADMAP: async serving engine (admission control + dynamic batching)", base);
+    std::printf("%s, n = %zu per request, %zu requests per client, closed loop\n"
+                "overhead us/req = (engine exec seconds - sum of per-item solve seconds) / requests\n\n",
+                kSolver, n, per_client);
+    std::printf("%8s %6s %10s %10s %10s %10s %9s %9s %16s %6s\n", "clients", "batch", "wall s",
+                "req/s", "p50 us", "p95 us", "leases", "flushes", "overhead us/req", "agree");
+  }
 
+  struct json_row {
+    size_t clients;
+    bool batching;
+    mode_result m;
+  };
+  std::vector<json_row> rows;
+  bool pass = true;
   for (size_t clients : client_counts) {
     mode_result off = run_mode(clients, per_client, n, /*batching=*/false, base);
     mode_result on = run_mode(clients, per_client, n, /*batching=*/true, base);
+    pass = pass && on.score_sum == off.score_sum;
     const double reqs = static_cast<double>(clients * per_client);
-    auto row = [&](const char* mode, const mode_result& m, const char* agree) {
-      std::printf("%8zu %6s %10.4f %10.0f %10.1f %10.1f %9llu %9llu %16.1f %6s\n", clients,
-                  mode, m.wall, reqs / m.wall, m.p50_us, m.p95_us,
-                  static_cast<unsigned long long>(m.leases),
-                  static_cast<unsigned long long>(m.flushes),
-                  (m.exec - m.solve) / reqs * 1e6, agree);
-    };
-    row("off", off, "");
-    row("on", on, on.score_sum == off.score_sum ? "yes" : "NO");
+    if (!json) {
+      auto row = [&](const char* mode, const mode_result& m, const char* agree) {
+        std::printf("%8zu %6s %10.4f %10.0f %10.1f %10.1f %9llu %9llu %16.1f %6s\n", clients,
+                    mode, m.wall, reqs / m.wall, m.p50_us, m.p95_us,
+                    static_cast<unsigned long long>(m.leases),
+                    static_cast<unsigned long long>(m.flushes),
+                    (m.exec - m.solve) / reqs * 1e6, agree);
+      };
+      row("off", off, "");
+      row("on", on, on.score_sum == off.score_sum ? "yes" : "NO");
+    }
+    rows.push_back({clients, false, off});
+    rows.push_back({clients, true, on});
   }
 
-  std::printf("\nagree = both modes fold identical per-request scores (same seeds).\n"
-              "Batching-on coalesces concurrent requests into shared flushes: fewer\n"
-              "leases, strictly lower per-request dispatch overhead at high client\n"
-              "counts (the p50/p95 columns keep the latency cost of the window and\n"
-              "of batchmates sharing a flush honest).\n");
-  return 0;
+  if (json) {
+    // Deterministic fields only cover WHAT was computed (same seeds ->
+    // same score folds in both modes); how the requests coalesced —
+    // leases, flushes, every latency — is timing and stays uncompared.
+    pp::json::writer w;
+    bench::begin_envelope(w, "serving_async", {"solver", "n", "per_client", "pass"},
+                          {"clients", "batching", "requests", "score_sum"});
+    w.member("solver", kSolver);
+    w.member("n", static_cast<uint64_t>(n));
+    w.member("per_client", static_cast<uint64_t>(per_client));
+    w.member("pass", pass);
+    w.key("rows").begin_array();
+    for (const auto& r : rows) {
+      const double reqs = static_cast<double>(r.clients * per_client);
+      w.begin_object();
+      w.member("clients", static_cast<uint64_t>(r.clients)).member("batching", r.batching);
+      w.member("requests", static_cast<uint64_t>(r.clients * per_client));
+      w.member("score_sum", r.m.score_sum);
+      w.member("wall_seconds", r.m.wall).member("p50_us", r.m.p50_us);
+      w.member("p95_us", r.m.p95_us).member("leases", r.m.leases);
+      w.member("flushes", r.m.flushes);
+      w.member("overhead_us_per_req", (r.m.exec - r.m.solve) / reqs * 1e6);
+      w.end_object();
+    }
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("\nagree = both modes fold identical per-request scores (same seeds).\n"
+                "Batching-on coalesces concurrent requests into shared flushes: fewer\n"
+                "leases, strictly lower per-request dispatch overhead at high client\n"
+                "counts (the p50/p95 columns keep the latency cost of the window and\n"
+                "of batchmates sharing a flush honest).\n");
+  }
+  return pass ? 0 : 1;
 }

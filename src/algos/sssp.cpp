@@ -256,9 +256,54 @@ sssp_result sssp_crauser(const wgraph& g, vertex_t source, bool use_in_criterion
   return res;
 }
 
+sssp_result sssp_incremental(const wgraph& g, vertex_t source, std::span<const int64_t> prior,
+                             std::span<const wgraph::wedge> inserted) {
+  sssp_result res;
+  res.dist.assign(g.num_vertices(), kInfDist);
+  std::copy(prior.begin(), prior.begin() + std::min<size_t>(prior.size(), res.dist.size()),
+            res.dist.begin());
+  res.dist[source] = 0;
+  using qe = std::pair<int64_t, vertex_t>;
+  std::priority_queue<qe, std::vector<qe>, std::greater<qe>> pq;
+  // Only endpoints an inserted edge actually improves enter the queue; an
+  // insertion that doesn't beat the prior label changes no distance.
+  for (const auto& e : inserted) {
+    res.stats.relaxations++;
+    if (res.dist[e.u] >= kInfDist) continue;
+    int64_t nd = res.dist[e.u] + e.w;
+    if (nd < res.dist[e.v]) {
+      res.dist[e.v] = nd;
+      pq.push({nd, e.v});
+    }
+  }
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d != res.dist[v]) continue;  // stale entry
+    res.stats.processed++;
+    auto nbrs = g.out_neighbors(v);
+    auto wts = g.out_weights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      res.stats.relaxations++;
+      int64_t nd = d + wts[i];
+      if (nd < res.dist[nbrs[i]]) {
+        res.dist[nbrs[i]] = nd;
+        pq.push({nd, nbrs[i]});
+      }
+    }
+  }
+  return res;
+}
+
 sssp_result sssp_dijkstra(const wgraph& g, vertex_t source, const context& ctx) {
   run_scope scope(ctx);
   return sssp_dijkstra(g, source);
+}
+
+sssp_result sssp_incremental(const wgraph& g, vertex_t source, std::span<const int64_t> prior,
+                             std::span<const wgraph::wedge> inserted, const context& ctx) {
+  run_scope scope(ctx);
+  return sssp_incremental(g, source, prior, inserted);
 }
 
 sssp_result sssp_bellman_ford(const wgraph& g, vertex_t source, const context& ctx) {

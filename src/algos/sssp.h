@@ -47,6 +47,20 @@ sssp_result sssp_phase_parallel(const wgraph& g, vertex_t source, const context&
 sssp_result sssp_crauser(const wgraph& g, vertex_t source, bool use_in_criterion,
                          const context& ctx);
 
+// Incremental re-solve after edge insertions (the session delta shape,
+// src/serve/session.h): `prior` holds exact distances in g minus the
+// `inserted` edges. Old paths survive insertion, so every prior label is a
+// valid upper bound in g, and any vertex whose distance improved lies
+// downstream of an inserted edge — seeding a Dijkstra queue with just the
+// endpoints the insertions improve re-settles exactly the affected
+// subgraph. Output is bit-identical to a from-scratch solve. `prior` must
+// NOT be reused across removals or weight increases (labels stop being
+// upper bounds); the session store enforces that invalidation rule.
+sssp_result sssp_incremental(const wgraph& g, vertex_t source, std::span<const int64_t> prior,
+                             std::span<const wgraph::wedge> inserted);
+sssp_result sssp_incremental(const wgraph& g, vertex_t source, std::span<const int64_t> prior,
+                             std::span<const wgraph::wedge> inserted, const context& ctx);
+
 // The alternative relaxed rank the paper points to (Sec. 4.3, [Crauser et
 // al. 98]): in each round settle every queued vertex v with
 //   dist(v) <= min_u (dist(u) + min_out_weight(u))        (OUT-criterion)

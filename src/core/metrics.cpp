@@ -32,6 +32,9 @@ catalog::catalog()
                                 "Submit-to-delivery latency, interactive class (microseconds)"),
       serve_latency_batch("pp_serve_latency_batch_usec",
                           "Submit-to-delivery latency, batch class (microseconds)"),
+      trace_ring_overwrites("pp_trace_ring_overwrites_total",
+                            "Trace records lost to per-thread ring wraparound (a nonzero "
+                            "value means a timeline dump is missing its oldest spans)"),
       pool_leases("pp_pool_leases_total", "Work-stealing pool lease acquisitions"),
       mq_popped("pp_mq_popped_total", "Elements claimed from relaxed k-MultiQueues"),
       mq_wasted("pp_mq_wasted_total",
@@ -40,8 +43,9 @@ catalog::catalog()
                  "MultiQueue empty best-of-two draws and not-yet-ready re-inserts") {
   counters_ = {&serve_submitted,  &serve_completed,    &serve_failed,
                &serve_expired,    &serve_cancelled,    &serve_cache_hits,
-               &serve_cache_misses, &serve_deduped,    &pool_leases,
-               &mq_popped,        &mq_wasted,          &mq_retries};
+               &serve_cache_misses, &serve_deduped,    &trace_ring_overwrites,
+               &pool_leases,      &mq_popped,          &mq_wasted,
+               &mq_retries};
   gauges_ = {&serve_queue_depth, &serve_inflight};
   histograms_ = {&serve_batch_size, &serve_latency_interactive, &serve_latency_batch};
 }

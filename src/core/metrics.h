@@ -121,6 +121,8 @@ struct catalog {
   histogram serve_batch_size;
   histogram serve_latency_interactive;
   histogram serve_latency_batch;
+  // -- tracer ring buffers (core/trace.h) -----------------------------------
+  counter trace_ring_overwrites;
   // -- scheduler (src/parallel/scheduler.cpp) -------------------------------
   counter pool_leases;
   // -- relaxed k-MultiQueue (src/parallel/multiqueue.h) ---------------------

@@ -15,7 +15,9 @@ namespace {
 
 template <typename T>
 const T& expect(const problem_input& in, const std::string& solver, const char* problem) {
-  const T* p = std::get_if<T>(&in);
+  // Snapshots dispatch as the input they pin, so every existing solver
+  // accepts session traffic without knowing sessions exist.
+  const T* p = std::get_if<T>(&unwrap_snapshot(in));
   if (!p) {
     throw std::invalid_argument("pp::registry: solver '" + solver + "' expects a '" + problem +
                                 "' input (wrong problem_input alternative)");
@@ -123,13 +125,21 @@ const solver_info* registry::info(std::string_view name) const {
   return it == solvers_.end() ? nullptr : &it->second.info;
 }
 
+const problem_input& unwrap_snapshot(const problem_input& in) {
+  const auto* snap = std::get_if<snapshot_input>(&in);
+  return snap ? *snap->base : in;
+}
+
 std::string_view problem_name_of(const problem_input& in) {
-  // Index-aligned with the problem_input variant alternatives; matches the
-  // `problem` strings the built-in solvers register under.
+  // A snapshot belongs to whatever problem its pinned base input does
+  // (`base` is never itself a snapshot, so this recurses at most once).
+  if (const auto* snap = std::get_if<snapshot_input>(&in)) return problem_name_of(*snap->base);
+  // Index-aligned with the plain problem_input variant alternatives;
+  // matches the `problem` strings the built-in solvers register under.
   static constexpr std::string_view kNames[] = {"lis",      "activity", "graph",
                                                 "sssp",     "huffman",  "knapsack",
                                                 "list",     "shuffle",  "whac"};
-  static_assert(std::variant_size_v<problem_input> == sizeof(kNames) / sizeof(kNames[0]));
+  static_assert(std::variant_size_v<problem_input> == sizeof(kNames) / sizeof(kNames[0]) + 1);
   return kNames[in.index()];
 }
 
@@ -208,6 +218,18 @@ void canonicalize(const whac_input& in, fingerprint_stream& s) {
     s.i64(m.t);
     s.i64(m.p);
   }
+}
+
+void canonicalize(const snapshot_input& in, fingerprint_stream& s) {
+  // The session store maintains `fp` incrementally (parent fp ⊕ delta fp
+  // over the per-element content hashes — see serve/session.cpp), so the
+  // canonical form of a snapshot is just those two words: content
+  // addressing for a 200k-node instance costs O(1) per version instead of
+  // O(m). The variant tag prepended by fingerprint_of keeps this domain
+  // separated from every plain alternative, so a snapshot can never alias
+  // a value-passed input that happens to contain the same words.
+  s.u64(in.fp.hi);
+  s.u64(in.fp.lo);
 }
 
 fingerprint fingerprint_of(const problem_input& in) {
@@ -634,6 +656,25 @@ void register_builtins(registry& r) {
                [sin](const problem_input& in, const context& ctx) -> solver_value {
                  const auto& s = sin(in, "sssp/crauser");
                  return sssp_crauser(s.g, s.source, /*use_in_criterion=*/true, ctx);
+               });
+  r.add_solver({"sssp/incremental", "sssp",
+                "delta re-solve over session snapshots: seeds Dijkstra from the prior "
+                "version's distances + inserted edges, exact (from-scratch ref: "
+                "sssp/dijkstra)"},
+               [sin](const problem_input& in, const context& ctx) -> solver_value {
+                 const auto& s = sin(in, "sssp/incremental");
+                 // Only a snapshot carries reusable labels; a plain input —
+                 // or a snapshot whose hints a removal invalidated — gets
+                 // the from-scratch reference, so the answer is exact and
+                 // deterministic either way (golden-table safe).
+                 if (const auto* snap = std::get_if<snapshot_input>(&in);
+                     snap && snap->prior_dist) {
+                   static const std::vector<wgraph::wedge> kNoEdges;
+                   return sssp_incremental(
+                       s.g, s.source, *snap->prior_dist,
+                       snap->inserted_edges ? *snap->inserted_edges : kNoEdges, ctx);
+                 }
+                 return sssp_dijkstra(s.g, s.source, ctx);
                });
   r.add_solver({"sssp/relaxed", "sssp",
                 "k-MultiQueue relaxed Dijkstra, exact distances (phase ref: "

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -111,9 +112,39 @@ struct whac_input {  // problem "whac": Whac-A-Mole dominance DP
 };
 void canonicalize(const whac_input& in, fingerprint_stream& s);
 
+struct snapshot_input;  // versioned session snapshot (defined below the variant)
+
 using problem_input =
     std::variant<sequence_input, activity_input, graph_input, sssp_input, huffman_input,
-                 knapsack_input, list_input, shuffle_input, whac_input>;
+                 knapsack_input, list_input, shuffle_input, whac_input, snapshot_input>;
+
+// An immutable versioned view of a session instance (src/serve/session.h).
+// Holds the materialized base input by shared pointer — copies are O(1), and
+// in-flight solves pin version v while the session writer installs v+1.
+// `base` is never null and never itself a snapshot. `fp` is maintained
+// incrementally by the session store (per-version fp = parent fp ⊕ delta
+// fp), so canonicalize() emits just those two words: the serve-layer result
+// cache and in-flight dedup address a 200k-node instance without rehashing
+// it on every delta. The optional hint fields let incremental solvers
+// (sssp/incremental) reuse the previous version's labels; solvers that
+// ignore them see exactly the base input.
+struct snapshot_input {
+  std::shared_ptr<const problem_input> base;
+  uint64_t version = 0;
+  fingerprint fp{};
+  // Incremental-solve hints: distances computed at some earlier version,
+  // plus every edge inserted since. Null/empty when no usable prior solve
+  // exists (fresh instance, or a delta that invalidated the labels).
+  std::shared_ptr<const std::vector<int64_t>> prior_dist;
+  std::shared_ptr<const std::vector<wgraph::wedge>> inserted_edges;
+};
+void canonicalize(const snapshot_input& in, fingerprint_stream& s);
+
+// The held alternative with any snapshot wrapper removed: snapshots resolve
+// to their materialized base input, every other alternative returns itself.
+// Solver dispatch, score checking, and the structural checkers all unwrap
+// through this so a snapshot behaves exactly like the value it pins.
+const problem_input& unwrap_snapshot(const problem_input& in);
 
 // Which problem the held alternative belongs to ("lis", "graph", ...) —
 // the same string solver_info::problem uses, so callers can check an

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/json.h"
+#include "core/metrics.h"
 
 namespace pp::trace {
 
@@ -81,6 +82,10 @@ class ring_buffer {
       rec_.push_back(r);
     } else {
       rec_[next_ % kRingCapacity] = r;  // overwrite the oldest
+      // Lost-history signal: a timeline exported after this wrapped is
+      // missing its oldest spans (pp_trace_ring_overwrites_total in the
+      // README metric catalog).
+      metrics::catalog::get().trace_ring_overwrites.inc();
     }
     ++next_;
   }

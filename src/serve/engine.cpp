@@ -105,6 +105,7 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
   p.submit_time = std::chrono::steady_clock::now();
   p.deadline = req.deadline;
   p.prio = req.prio;
+  p.session = std::move(req.session);
   p.cb = std::move(cb);
   // Fingerprint outside the lock: the canonicalization pass is O(input)
   // and must not serialize against executors sweeping the queues.
@@ -147,6 +148,14 @@ std::future<response> engine::enqueue(request&& req, std::function<void(response
         deduped_.fetch_add(1, std::memory_order_relaxed);
         metrics::catalog::get().serve_deduped.inc();
         return fut;
+      }
+      if (!p.session.empty()) {
+        // Take a position in the session's admission order. Dedup waiters
+        // above never reach here: they ride their leader's position, and
+        // content addressing makes their envelope order-independent.
+        session_state& ss = sessions_[p.session];
+        p.session_seq = ss.next_seq++;
+        ss.queued.push_back(p.session_seq);
       }
       queues_[queue_index(p.prio)].push_back(std::move(p));
       submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -313,7 +322,50 @@ bool engine::sweep_entry_locked(pending& p, std::vector<pending>& dead,
   return false;
 }
 
-bool engine::pop_head_locked(std::vector<pending>& dead, pending& head) {
+bool engine::session_eligible_locked(const pending& p, uint64_t tag) const {
+  if (p.session.empty()) return true;
+  auto it = sessions_.find(p.session);
+  if (it == sessions_.end()) return true;  // order book dropped (stop): run freely
+  const session_state& ss = it->second;
+  if (ss.queued.empty() || ss.queued.front() != p.session_seq) return false;
+  return ss.live == 0 || ss.owner == tag;
+}
+
+void engine::session_claim_locked(const pending& p, uint64_t tag) {
+  if (p.session.empty()) return;
+  auto it = sessions_.find(p.session);
+  if (it == sessions_.end()) return;
+  session_state& ss = it->second;
+  ss.queued.pop_front();
+  ++ss.live;
+  ss.owner = tag;
+}
+
+void engine::session_release_queued_locked(const pending& p) {
+  if (p.session.empty()) return;
+  auto it = sessions_.find(p.session);
+  if (it == sessions_.end()) return;
+  session_state& ss = it->second;
+  // Out-of-order erase: an expired entry dies from the middle of the
+  // admission order, unblocking its successors.
+  auto q = std::find(ss.queued.begin(), ss.queued.end(), p.session_seq);
+  if (q != ss.queued.end()) ss.queued.erase(q);
+  if (ss.queued.empty() && ss.live == 0) sessions_.erase(it);
+}
+
+void engine::session_release_flushed_locked(const pending& p) {
+  if (p.session.empty()) return;
+  auto it = sessions_.find(p.session);
+  if (it == sessions_.end()) return;
+  session_state& ss = it->second;
+  if (ss.live > 0) --ss.live;
+  if (ss.live == 0) {
+    ss.owner = 0;
+    if (ss.queued.empty()) sessions_.erase(it);
+  }
+}
+
+bool engine::pop_head_locked(std::vector<pending>& dead, pending& head, uint64_t tag) {
   auto now = std::chrono::steady_clock::now();
   // Every pop sweeps expired entries out of BOTH deques — not just the
   // one the head comes from. Under sustained interactive traffic the
@@ -326,7 +378,8 @@ bool engine::pop_head_locked(std::vector<pending>& dead, pending& head) {
     for (auto it = q.begin(); it != q.end();) {
       if (sweep_entry_locked(*it, dead, now)) {
         // Every waiter's deadline blew while queued: drop without a pool
-        // lease.
+        // lease (and free its session position — successors unblock).
+        session_release_queued_locked(*it);
         dead.push_back(std::move(*it));
         it = q.erase(it);
       } else {
@@ -335,12 +388,17 @@ bool engine::pop_head_locked(std::vector<pending>& dead, pending& head) {
     }
   }
   // Higher class first. With priority_classes off everything lives in
-  // queues_[0], so the order collapses to plain FIFO.
+  // queues_[0], so the order collapses to plain FIFO. Session-blocked
+  // entries (an earlier entry of their session is queued ahead or mid
+  // flush) are skipped in place — they keep their FIFO slot, later
+  // traffic flows around them.
   for (size_t ci = 2; ci-- > 0;) {
     std::deque<pending>& q = queues_[ci];
-    if (!q.empty()) {
-      head = std::move(q.front());
-      q.pop_front();
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (!session_eligible_locked(*it, tag)) continue;
+      head = std::move(*it);
+      q.erase(it);
+      session_claim_locked(head, tag);
       return true;
     }
   }
@@ -348,15 +406,22 @@ bool engine::pop_head_locked(std::vector<pending>& dead, pending& head) {
 }
 
 bool engine::gather_locked(std::deque<pending>& q, const std::string& solver, priority cls,
-                           std::vector<pending>& batch, std::vector<pending>& dead) {
+                           uint64_t tag, std::vector<pending>& batch, std::vector<pending>& dead) {
   bool removed = false;
   auto now = std::chrono::steady_clock::now();
   for (auto it = q.begin(); it != q.end() && batch.size() < opts_.max_batch;) {
     if (sweep_entry_locked(*it, dead, now)) {
+      session_release_queued_locked(*it);
       dead.push_back(std::move(*it));
       it = q.erase(it);
       removed = true;
-    } else if (it->solver == solver && (!opts_.priority_classes || it->prio == cls)) {
+    } else if (it->solver == solver && (!opts_.priority_classes || it->prio == cls) &&
+               session_eligible_locked(*it, tag)) {
+      // Consecutive entries of one session coalesce into THIS flush in
+      // admission order (claiming seq k makes k+1 the session head, and
+      // the deque scan reaches k+1 after k); run_batch executes items
+      // as given, so in-flush order is preserved too.
+      session_claim_locked(*it, tag);
       batch.push_back(std::move(*it));
       register_running_locked(batch.back());
       it = q.erase(it);
@@ -379,7 +444,11 @@ void engine::executor_loop() {
       while (!stopping_ && queued_locked() == 0) not_empty_.wait(lk);
       if (queued_locked() == 0) return;  // stopping_ && drained
       pending head;
-      if (pop_head_locked(dead, head)) {
+      // This iteration's flush identity: session entries claimed under one
+      // tag (the popped head and its gathered session-mates) share one
+      // flush; a different tag must wait for their release.
+      const uint64_t tag = ++flush_tag_;
+      if (pop_head_locked(dead, head, tag)) {
         batch.push_back(std::move(head));
         register_running_locked(batch.back());
         // By value: growing `batch` reallocates and would invalidate a
@@ -399,7 +468,10 @@ void engine::executor_loop() {
         std::deque<pending>& q = queues_[queue_index(cls)];
         {
           trace_span g("serve/gather");
-          if (gather_locked(q, solver, cls, batch, dead)) not_full_.notify_all();
+          if (gather_locked(q, solver, cls, tag, batch, dead)) not_full_.notify_all();
+          // Expiry path annotation: how many queued waiters this sweep
+          // dropped for blown deadlines (leaseless "expired" responses).
+          g.args("expired", dead.size());
         }
         if (opts_.batch_window.count() > 0) {
           // Coalesce: the batch-window wait for same-solver late arrivals.
@@ -407,18 +479,24 @@ void engine::executor_loop() {
           auto window_end = std::chrono::steady_clock::now() + opts_.batch_window;
           while (batch.size() < opts_.max_batch && !stopping_) {
             if (not_empty_.wait_until(lk, window_end) == std::cv_status::timeout) {
-              if (gather_locked(q, solver, cls, batch, dead)) not_full_.notify_all();
+              if (gather_locked(q, solver, cls, tag, batch, dead)) not_full_.notify_all();
               break;
             }
-            if (gather_locked(q, solver, cls, batch, dead)) not_full_.notify_all();
+            if (gather_locked(q, solver, cls, tag, batch, dead)) not_full_.notify_all();
           }
-          co.args("batch", batch.size());
+          co.args("batch", batch.size(), "expired", dead.size());
         }
         // The flush is decided: freeze each entry's cancellability and
         // absorb window-time joiners. Post-seal joiners keep accumulating
         // in the fanout (uncancellable flushes only) and are delivered at
         // completion.
         for (auto& p : batch) seal_for_flush_locked(p);
+      } else if (queued_locked() > 0) {
+        // Nothing runnable but the queue is non-empty: everything left is
+        // session-blocked behind an in-flight flush. Sleep until a release
+        // notification (or a short timeout as a missed-wakeup backstop)
+        // instead of spinning on the pop.
+        not_empty_.wait_for(lk, std::chrono::milliseconds(1));
       }
       metrics::catalog::get().serve_queue_depth.set(
           static_cast<int64_t>(queued_locked()));
@@ -476,6 +554,12 @@ void engine::execute(std::vector<pending> batch) {
     trace_span flush("serve/flush", "batch", batch.size());
     auto br = registry::run_batch(batch.front().solver,
                                   std::span<const problem_input>(inputs), exec_ctx_, opts);
+    // Cancellation path annotation: items whose deadline token fired
+    // mid-run (the solve unwound at a phase boundary, batchmates intact).
+    size_t cancelled_items = 0;
+    for (const auto& item : br.items)
+      if (item.cancelled()) ++cancelled_items;
+    flush.args("batch", batch.size(), "cancelled", cancelled_items);
     flush.end();
     exec_nanos_.fetch_add(
         static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -498,6 +582,7 @@ void engine::execute(std::vector<pending> batch) {
       {
         sync::lock_guard<sync::mutex> lk(m_);
         finish_running_locked(p, ok_item ? &r : nullptr, waiters);
+        session_release_flushed_locked(p);
       }
       // Fan the envelope out: one execution, every waiter answered. A
       // waiter whose deadline lapsed mid-run still gets the result — the
@@ -535,6 +620,9 @@ void engine::execute(std::vector<pending> batch) {
   }
   inflight_.fetch_sub(1, std::memory_order_relaxed);
   metrics::catalog::get().serve_inflight.sub(1);
+  // Session releases above may have unblocked a skipped entry; wake
+  // executors parked on the session-blocked wait.
+  not_empty_.notify_all();
 }
 
 void engine::fail_from(std::vector<pending>& batch, size_t first, const char* what) {
@@ -545,6 +633,7 @@ void engine::fail_from(std::vector<pending>& batch, size_t first, const char* wh
     {
       sync::lock_guard<sync::mutex> lk(m_);
       finish_running_locked(batch[i], nullptr, waiters);
+      session_release_flushed_locked(batch[i]);
     }
     failed_.fetch_add(1 + waiters.size(), std::memory_order_relaxed);
     metrics::catalog::get().serve_failed.inc(1 + waiters.size());
@@ -579,6 +668,13 @@ void engine::deliver(pending& p, response&& r) {
 }
 
 void engine::deliver_expired(pending& p) {
+  // Expiry path annotation: how long the request sat queued before its
+  // deadline blew (it never took a pool lease).
+  trace::instant("serve/expired", "queued_usec",
+                 static_cast<uint64_t>(std::max<int64_t>(
+                     0, std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - p.submit_time)
+                            .count())));
   expired_.fetch_add(1, std::memory_order_relaxed);
   metrics::catalog::get().serve_expired.inc();
   response r;
@@ -596,6 +692,9 @@ void engine::stop(bool drain) {
         for (auto& p : q) orphans.push_back(std::move(p));
         q.clear();
       }
+      // The orphans' session positions die with them. In-flight flushes
+      // release against the (now absent) books as no-ops.
+      sessions_.clear();
     }
   }
   not_empty_.notify_all();

@@ -47,6 +47,16 @@
 //    pp::cancel_token so a blown deadline unwinds its solve at the next
 //    phase boundary (`cancelled`) while unexpired batchmates complete.
 //
+//  * Session affinity. Requests carrying a session key (stateful clients:
+//    src/serve/session.h) execute in admission order per session — a
+//    later solve on a session never starts before an earlier one
+//    finishes, so version-ordered feedback (note_solve) and callbacks
+//    observe the session's timeline. Entries of ONE session may still
+//    coalesce into a single flush (run_batch preserves item order), but
+//    never into two concurrent flushes; cross-session and sessionless
+//    traffic coalesces exactly as before. A session-blocked entry is
+//    skipped at pop time rather than blocking the head of the queue.
+//
 // Every batch executes under the engine's single execution profile
 // (options::ctx + workers_per_run): concurrent top-level scopes then agree
 // on every knob except the per-item seeds, which solvers consume through
@@ -118,6 +128,11 @@ struct request {
   std::optional<uint64_t> seed;
   std::optional<std::chrono::steady_clock::time_point> deadline;
   priority prio = priority::interactive;
+  // Session affinity key; empty = unordered. Requests sharing a key
+  // execute in admission order (see the header note). Dedup and cache
+  // still apply: an identical submission may be answered out of band —
+  // content addressing makes its envelope order-independent.
+  std::string session;
 };
 
 struct response {
@@ -279,6 +294,11 @@ class engine {
     // every waiter has a deadline; it fires at the latest one.
     bool use_token = false;
     std::chrono::steady_clock::time_point token_deadline{};
+    // Session affinity: the key and this entry's position in the
+    // session's admission order (sessions_[session].queued holds the
+    // live positions, FIFO).
+    std::string session;
+    uint64_t session_seq = 0;
   };
 
   // Content address of a response — the cache and dedup key.
@@ -333,6 +353,30 @@ class engine {
   bool sweep_entry_locked(pending& p, std::vector<pending>& dead,
                           std::chrono::steady_clock::time_point now) PP_REQUIRES(m_);
 
+  // ---- session affinity helpers; the m_ requirement is machine-checked ------
+  // Per-session ordering state. `queued` holds the admission positions of
+  // the session's queued entries (front = next allowed to run); `live` /
+  // `owner` track entries claimed into a not-yet-finished flush and which
+  // flush holds them. Erased when both drain, so idle sessions cost zero.
+  struct session_state {
+    uint64_t next_seq = 0;
+    std::deque<uint64_t> queued;
+    size_t live = 0;
+    uint64_t owner = 0;  // flush tag; meaningful while live > 0
+  };
+  // May `p` start under flush `tag`? True when p is sessionless, or is the
+  // session's FIFO head with no other flush in flight (entries already
+  // claimed by THIS tag don't block their session-mates — that is what
+  // lets one flush carry several consecutive entries of a session).
+  bool session_eligible_locked(const pending& p, uint64_t tag) const PP_REQUIRES(m_);
+  // Claim an eligible entry into flush `tag` (pops its queued position).
+  void session_claim_locked(const pending& p, uint64_t tag) PP_REQUIRES(m_);
+  // Un-queue an entry that dies without running (expired / orphaned).
+  void session_release_queued_locked(const pending& p) PP_REQUIRES(m_);
+  // Release a flushed entry; when the session's flush fully drains, its
+  // next queued entry becomes eligible (callers notify not_empty_).
+  void session_release_flushed_locked(const pending& p) PP_REQUIRES(m_);
+
   // ---- queue helpers; the m_ requirement is machine-checked -----------------
   // Which deque a pending lands in: its class when priority_classes, the
   // single FIFO otherwise.
@@ -346,17 +390,21 @@ class engine {
     return p.deadline && *p.deadline <= now;
   }
   // Pop the next runnable head — highest class first, FIFO within a class
-  // — moving every already-expired entry encountered into `dead`. Returns
-  // false when nothing runnable is queued.
-  bool pop_head_locked(std::vector<pending>& dead, pending& head) PP_REQUIRES(m_);
+  // — moving every already-expired entry encountered into `dead` and
+  // skipping (not disturbing) session-blocked entries. Returns false when
+  // nothing runnable is queued.
+  bool pop_head_locked(std::vector<pending>& dead, pending& head, uint64_t tag)
+      PP_REQUIRES(m_);
   // Sweep-and-coalesce into `batch` every queued entry of `q` matching
-  // the flush head (same solver; same class when QoS is on), up to
-  // max_batch, registering each as joinable. True = entries left the
-  // queue, so the caller wakes backpressured submitters NOW — with a
-  // small queue, a window-waiting executor that just drained it is
-  // waiting for exactly the requests those submitters hold.
+  // the flush head (same solver; same class when QoS is on; session
+  // eligible under `tag`), up to max_batch, registering each as joinable.
+  // True = entries left the queue, so the caller wakes backpressured
+  // submitters NOW — with a small queue, a window-waiting executor that
+  // just drained it is waiting for exactly the requests those submitters
+  // hold.
   bool gather_locked(std::deque<pending>& q, const std::string& solver, priority cls,
-                     std::vector<pending>& batch, std::vector<pending>& dead) PP_REQUIRES(m_);
+                     uint64_t tag, std::vector<pending>& batch, std::vector<pending>& dead)
+      PP_REQUIRES(m_);
 
   engine_options opts_;
   context exec_ctx_;  // opts_.ctx with workers = resolved workers_per_run
@@ -378,6 +426,11 @@ class engine {
   std::map<result_key, std::list<cache_entry>::iterator> cache_ PP_GUARDED_BY(m_);
   // In-flight dedup: keys currently in a batch window or executing.
   std::map<result_key, std::shared_ptr<fanout>> running_ PP_GUARDED_BY(m_);
+  // Session affinity order books (erased when a session fully drains).
+  std::map<std::string, session_state> sessions_ PP_GUARDED_BY(m_);
+  // Flush identity: each executor iteration that pops a head draws a tag;
+  // session entries claimed under one tag share one flush.
+  uint64_t flush_tag_ PP_GUARDED_BY(m_) = 0;
 
   std::vector<std::thread> executors_;
   std::once_flag join_once_;

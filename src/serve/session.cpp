@@ -1,0 +1,546 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/json.h"
+#include "parallel/random.h"
+
+namespace pp::serve {
+
+// ---- Persistent treap over the directed edge set ----------------------------
+//
+// Key = (u << 32) | v, value = weight, heap priority = hash64(key): a fixed
+// key set always shapes the same tree, so version fingerprints and
+// materialization order are deterministic. All update paths copy the
+// O(log m) spine and share every other node with the parent version —
+// that sharing is what lets a writer build version v+1 while solves hold
+// version v.
+namespace detail {
+struct pnode {
+  std::shared_ptr<const pnode> l, r;
+  uint64_t key = 0;
+  uint32_t val = 0;
+  uint64_t prio = 0;
+};
+}  // namespace detail
+
+namespace {
+
+using detail::pnode;
+using pptr = std::shared_ptr<const pnode>;
+
+uint64_t edge_key(vertex_t u, vertex_t v) {
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+
+pptr make_node(uint64_t key, uint32_t val, pptr l, pptr r) {
+  auto n = std::make_shared<pnode>();
+  n->key = key;
+  n->val = val;
+  n->prio = hash64(key);
+  n->l = std::move(l);
+  n->r = std::move(r);
+  return n;
+}
+
+// Path-copy of `t` with new children (key/val/prio preserved).
+pptr clone_with(const pptr& t, pptr l, pptr r) {
+  auto n = std::make_shared<pnode>(*t);
+  n->l = std::move(l);
+  n->r = std::move(r);
+  return n;
+}
+
+// l gets keys < key, m the key's node (or null), r keys > key.
+void split3(const pptr& t, uint64_t key, pptr& l, pptr& m, pptr& r) {
+  if (!t) {
+    l = m = r = nullptr;
+    return;
+  }
+  if (key < t->key) {
+    pptr rl;
+    split3(t->l, key, l, m, rl);
+    r = clone_with(t, std::move(rl), t->r);
+  } else if (key > t->key) {
+    pptr lr;
+    split3(t->r, key, lr, m, r);
+    l = clone_with(t, t->l, std::move(lr));
+  } else {
+    l = t->l;
+    m = t;
+    r = t->r;
+  }
+}
+
+// Every key in a precedes every key in b.
+pptr merge(const pptr& a, const pptr& b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->prio >= b->prio) return clone_with(a, a->l, merge(a->r, b));
+  return clone_with(b, merge(a, b->l), b->r);
+}
+
+const pnode* find(const pptr& t, uint64_t key) {
+  const pnode* cur = t.get();
+  while (cur) {
+    if (key < cur->key) cur = cur->l.get();
+    else if (key > cur->key) cur = cur->r.get();
+    else return cur;
+  }
+  return nullptr;
+}
+
+pptr insert_edge(const pptr& t, uint64_t key, uint32_t val) {
+  pptr l, m, r;
+  split3(t, key, l, m, r);
+  return merge(merge(std::move(l), make_node(key, val, nullptr, nullptr)), std::move(r));
+}
+
+pptr erase_edge(const pptr& t, uint64_t key) {
+  pptr l, m, r;
+  split3(t, key, l, m, r);
+  return merge(std::move(l), std::move(r));
+}
+
+// O(m) build from strictly increasing keys: classic right-spine cartesian
+// tree (nodes are mutated only during construction, before publication).
+pptr build_sorted(const std::vector<wgraph::wedge>& edges) {
+  std::vector<std::shared_ptr<pnode>> spine;
+  for (const auto& e : edges) {
+    auto n = std::make_shared<pnode>();
+    n->key = edge_key(e.u, e.v);
+    n->val = e.w;
+    n->prio = hash64(n->key);
+    std::shared_ptr<pnode> last;
+    while (!spine.empty() && spine.back()->prio < n->prio) {
+      last = spine.back();
+      spine.pop_back();
+    }
+    n->l = last;
+    if (!spine.empty()) spine.back()->r = n;
+    spine.push_back(std::move(n));
+  }
+  return spine.empty() ? nullptr : spine.front();
+}
+
+// ---- Incremental fingerprint pieces -----------------------------------------
+//
+// A version's fp is header ^ XOR(elem hashes). Each piece is a full
+// length-strengthened digest of a tagged stream, so a delta updates the fp
+// by XORing a handful of digests — the parent-fp ⊕ delta-fp law the engine
+// cache relies on — while collisions stay as unlikely as for the flat
+// canonical stream.
+
+fingerprint fp_xor(fingerprint a, fingerprint b) { return {a.hi ^ b.hi, a.lo ^ b.lo}; }
+
+fingerprint hash_edge(uint64_t key, uint32_t w) {
+  fingerprint_stream s;
+  s.tag(0xed6e);  // session graph element
+  s.u64(key);
+  s.u32(w);
+  return s.digest();
+}
+
+fingerprint hash_elem(size_t i, int64_t v) {
+  fingerprint_stream s;
+  s.tag(0x5e9e);  // session sequence element
+  s.size(i);
+  s.i64(v);
+  return s.digest();
+}
+
+fingerprint graph_header(vertex_t n, vertex_t source, uint32_t delta) {
+  fingerprint_stream s;
+  s.tag(0x6a5e);  // session graph header
+  s.u32(n);
+  s.u32(source);
+  s.u32(delta);
+  return s.digest();
+}
+
+fingerprint seq_header(size_t n) {
+  fingerprint_stream s;
+  s.tag(0x5e0e);  // session sequence header
+  s.size(n);
+  return s.digest();
+}
+
+// Sorted-by-(u,v) directed edges out of a CSR. from_edges does not dedup,
+// so duplicate (u, v) pairs resolve min-weight-wins here — deterministic
+// under any input edge order, and distance-preserving for SSSP (relaxation
+// only ever uses the cheapest parallel edge).
+std::vector<wgraph::wedge> extract_sorted_edges(const wgraph& g) {
+  std::vector<wgraph::wedge> out;
+  out.reserve(g.num_edges());
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.out_neighbors(u);
+    auto wts = g.out_weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (!out.empty() && out.back().u == u && out.back().v == nbrs[i]) {
+        out.back().w = std::min(out.back().w, wts[i]);
+      } else {
+        out.push_back({u, nbrs[i], wts[i]});
+      }
+    }
+  }
+  return out;
+}
+
+fingerprint edges_acc(const std::vector<wgraph::wedge>& edges) {
+  fingerprint acc{};
+  for (const auto& e : edges) acc = fp_xor(acc, hash_edge(edge_key(e.u, e.v), e.w));
+  return acc;
+}
+
+}  // namespace
+
+std::string to_json(const session_desc& d) {
+  json::writer w;
+  w.begin_object();
+  w.member("name", d.name);
+  w.member("problem", d.problem);
+  w.member("version", d.version);
+  w.member("fingerprint", d.fp.hex());
+  w.member("elems", static_cast<uint64_t>(d.elems));
+  w.member("hints", d.hints);
+  w.end_object();
+  return w.str();
+}
+
+// ---- session_table ----------------------------------------------------------
+
+session_table::session_table(size_t max_sessions) : max_sessions_(max_sessions) {}
+
+session_table::~session_table() = default;
+
+session_desc session_table::describe_entry(const entry& e) {
+  session_desc d;
+  d.name = e.name;
+  d.problem = e.problem;
+  sync::lock_guard<sync::mutex> lk(e.head_m);
+  d.version = e.head->version;
+  d.fp = e.head->fp;
+  d.elems = e.head->elems;
+  d.hints = e.labels != nullptr;
+  return d;
+}
+
+std::shared_ptr<session_table::entry> session_table::find_and_touch(const std::string& name) {
+  sync::lock_guard<sync::mutex> lk(m_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) throw session_error("unknown session: " + name);
+  it->second->last_touch = ++touch_seq_;
+  return it->second;
+}
+
+std::shared_ptr<session_table::entry> session_table::find_const(const std::string& name) const {
+  sync::lock_guard<sync::mutex> lk(m_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) throw session_error("unknown session: " + name);
+  return it->second;
+}
+
+session_desc session_table::create(const std::string& name, problem_input base) {
+  auto e = std::make_shared<entry>();
+  e->name = name;
+  auto v = std::make_shared<version_state>();
+  v->version = 0;
+
+  if (auto* s = std::get_if<sssp_input>(&base)) {
+    e->problem = "sssp";
+    std::vector<wgraph::wedge> edges = extract_sorted_edges(s->g);
+    v->is_graph = true;
+    v->n = s->g.num_vertices();
+    v->source = s->source;
+    v->delta_param = s->delta;
+    if (v->source >= v->n && v->n > 0) throw session_error("source out of range");
+    v->elems = edges.size();
+    v->elem_acc = edges_acc(edges);
+    v->fp = fp_xor(graph_header(v->n, v->source, v->delta_param), v->elem_acc);
+    v->edges = build_sorted(edges);
+    sssp_input in;
+    in.g = wgraph::from_sorted_edges(v->n, edges);
+    in.source = v->source;
+    in.delta = v->delta_param;
+    v->input = std::make_shared<const problem_input>(std::move(in));
+  } else if (auto* q = std::get_if<sequence_input>(&base)) {
+    e->problem = "lis";
+    if (!q->weights.empty())
+      throw session_error("sequence sessions support unit weights only");
+    v->is_graph = false;
+    v->elems = q->a.size();
+    fingerprint acc{};
+    for (size_t i = 0; i < q->a.size(); ++i) acc = fp_xor(acc, hash_elem(i, q->a[i]));
+    v->elem_acc = acc;
+    v->fp = fp_xor(seq_header(v->elems), acc);
+    v->input = std::make_shared<const problem_input>(std::move(base));
+  } else {
+    throw session_error("unsupported session kind (want sssp_input or sequence_input)");
+  }
+
+  {
+    sync::lock_guard<sync::mutex> hlk(e->head_m);
+    e->head = std::move(v);
+  }
+
+  sync::lock_guard<sync::mutex> lk(m_);
+  if (sessions_.count(name)) throw session_error("session exists: " + name);
+  e->last_touch = ++touch_seq_;
+  sessions_.emplace(name, e);
+  while (max_sessions_ > 0 && sessions_.size() > max_sessions_) {
+    // Evict the least-recently-used instance. In-flight solves keep their
+    // pinned snapshots alive; only the table's reference goes away.
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it)
+      if (victim == sessions_.end() || it->second->last_touch < victim->second->last_touch)
+        victim = it;
+    sessions_.erase(victim);
+    ++evictions_;
+  }
+  return describe_entry(*e);
+}
+
+session_desc session_table::apply(const std::string& name, const session_delta& d) {
+  auto e = find_and_touch(name);
+
+  // Single writer per session: the whole version build happens under
+  // writer_m without touching head_m, so readers pinning the current head
+  // are never behind this work.
+  sync::lock_guard<sync::mutex> wlk(e->writer_m);
+
+  std::shared_ptr<const version_state> prev;
+  {
+    sync::lock_guard<sync::mutex> hlk(e->head_m);
+    prev = e->head;
+  }
+
+  auto v = std::make_shared<version_state>();
+  v->version = prev->version + 1;
+  v->is_graph = prev->is_graph;
+  bool invalidate = false;                       // labels stop being upper bounds
+  std::vector<wgraph::wedge> fresh_inserts;      // seeds for sssp/incremental
+
+  if (prev->is_graph) {
+    if (!d.append.empty() || !d.update.empty())
+      throw session_error("sequence delta on a graph session");
+    v->n = prev->n;
+    v->delta_param = prev->delta_param;
+    v->source = prev->source;
+    if (d.source) {
+      if (*d.source >= v->n) throw session_error("source out of range");
+      if (*d.source != v->source) invalidate = true;
+      v->source = *d.source;
+    }
+
+    // Resolve the delta to one final state per touched key (in-delta order:
+    // adds first, then removes; later ops on one key win).
+    std::map<uint64_t, std::optional<uint32_t>> ops;
+    for (const auto& ae : d.add_edges) {
+      if (ae.u >= v->n || ae.v >= v->n) throw session_error("edge endpoint out of range");
+      if (ae.w == 0) throw session_error("edge weights must be positive");
+      ops[edge_key(ae.u, ae.v)] = ae.w;
+    }
+    for (const auto& re : d.remove_edges) {
+      if (re.u >= v->n || re.v >= v->n) throw session_error("edge endpoint out of range");
+      ops[edge_key(re.u, re.v)] = std::nullopt;
+    }
+
+    // Treap + fingerprint updates: O(k log m) path copies, shared spine.
+    pptr t = prev->edges;
+    fingerprint acc = prev->elem_acc;
+    size_t count = prev->elems;
+    for (auto& [key, nw] : ops) {
+      const pnode* old = find(t, key);
+      if (old) {
+        if (nw && *nw == old->val) continue;  // no-op add
+        acc = fp_xor(acc, hash_edge(key, old->val));
+        if (nw) {
+          acc = fp_xor(acc, hash_edge(key, *nw));
+          t = insert_edge(t, key, *nw);
+          if (*nw > old->val) {
+            invalidate = true;  // weight increase: old labels may undershoot
+          } else {
+            fresh_inserts.push_back({static_cast<vertex_t>(key >> 32),
+                                     static_cast<vertex_t>(key), *nw});
+          }
+        } else {
+          t = erase_edge(t, key);
+          --count;
+          invalidate = true;  // removal: old labels may use the dead edge
+        }
+      } else {
+        if (!nw) continue;  // no-op remove
+        acc = fp_xor(acc, hash_edge(key, *nw));
+        t = insert_edge(t, key, *nw);
+        ++count;
+        fresh_inserts.push_back(
+            {static_cast<vertex_t>(key >> 32), static_cast<vertex_t>(key), *nw});
+      }
+    }
+
+    // Materialize: ONE merge pass, parent CSR x resolved ops, emitted
+    // straight into the child's CSR arrays. The parent's per-vertex runs
+    // are sorted and deduplicated by construction, so interleaving the
+    // key-ordered ops preserves the invariant — no intermediate edge
+    // list, no scatter pass, no re-sort. Paid once per delta.
+    const wgraph& pg = std::get<sssp_input>(*prev->input).g;
+    std::vector<size_t> offsets(static_cast<size_t>(v->n) + 1, 0);
+    std::vector<vertex_t> adj;
+    std::vector<uint32_t> wts;
+    adj.reserve(count);
+    wts.reserve(count);
+    auto oit = ops.begin();
+    for (vertex_t u = 0; u < v->n; ++u) {
+      offsets[u] = adj.size();
+      auto nbrs = pg.out_neighbors(u);
+      auto ws = pg.out_weights(u);
+      const uint64_t u_last = edge_key(u, ~vertex_t{0});  // largest key at u
+      size_t i = 0;
+      while (true) {
+        uint64_t pk = i < nbrs.size() ? edge_key(u, nbrs[i]) : ~uint64_t{0};
+        if (oit != ops.end() && oit->first <= u_last && oit->first <= pk) {
+          if (oit->second) {  // insert or reweight; removals emit nothing
+            adj.push_back(static_cast<vertex_t>(oit->first));
+            wts.push_back(*oit->second);
+          }
+          if (oit->first == pk) ++i;  // the op replaced this parent edge
+          ++oit;
+        } else if (i < nbrs.size()) {
+          adj.push_back(nbrs[i]);
+          wts.push_back(ws[i]);
+          ++i;
+        } else {
+          break;
+        }
+      }
+    }
+    offsets[v->n] = adj.size();
+
+    v->elems = adj.size();
+    v->elem_acc = acc;
+    v->fp = fp_xor(graph_header(v->n, v->source, v->delta_param), acc);
+    v->edges = std::move(t);
+    sssp_input in;
+    in.g = wgraph::from_csr(v->n, std::move(offsets), std::move(adj), std::move(wts));
+    in.source = v->source;
+    in.delta = v->delta_param;
+    v->input = std::make_shared<const problem_input>(std::move(in));
+  } else {
+    if (!d.add_edges.empty() || !d.remove_edges.empty() || d.source)
+      throw session_error("graph delta on a sequence session");
+    const auto& prev_seq = std::get<sequence_input>(*prev->input);
+    sequence_input next;
+    next.a = prev_seq.a;  // copy-on-write per version
+    fingerprint acc = prev->elem_acc;
+    for (const auto& up : d.update) {
+      if (up.index >= next.a.size()) throw session_error("update index out of range");
+      if (next.a[up.index] == up.value) continue;
+      acc = fp_xor(acc, hash_elem(up.index, next.a[up.index]));
+      acc = fp_xor(acc, hash_elem(up.index, up.value));
+      next.a[up.index] = up.value;
+    }
+    for (int64_t x : d.append) {
+      acc = fp_xor(acc, hash_elem(next.a.size(), x));
+      next.a.push_back(x);
+    }
+    v->elems = next.a.size();
+    v->elem_acc = acc;
+    v->fp = fp_xor(seq_header(v->elems), acc);
+    v->input = std::make_shared<const problem_input>(problem_input(std::move(next)));
+  }
+
+  // Install v+1 and maintain the incremental-label state. Short section:
+  // readers copying the old head concurrently are unaffected.
+  {
+    sync::lock_guard<sync::mutex> hlk(e->head_m);
+    e->head = std::move(v);
+    if (invalidate) {
+      e->labels = nullptr;
+      e->inserted_since = nullptr;
+    } else if (e->labels && !fresh_inserts.empty()) {
+      auto grown = e->inserted_since
+                       ? std::make_shared<std::vector<wgraph::wedge>>(*e->inserted_since)
+                       : std::make_shared<std::vector<wgraph::wedge>>();
+      grown->insert(grown->end(), fresh_inserts.begin(), fresh_inserts.end());
+      e->inserted_since = std::move(grown);
+    }
+  }
+  return describe_entry(*e);
+}
+
+snapshot_input session_table::snapshot(const std::string& name) {
+  auto e = find_and_touch(name);
+  snapshot_input s;
+  sync::lock_guard<sync::mutex> lk(e->head_m);
+  s.base = e->head->input;
+  s.version = e->head->version;
+  s.fp = e->head->fp;
+  if (e->head->is_graph && e->labels) {
+    s.prior_dist = e->labels;
+    s.inserted_edges = e->inserted_since;  // null when labels are current
+  }
+  return s;
+}
+
+session_desc session_table::describe(const std::string& name) const {
+  return describe_entry(*find_const(name));
+}
+
+bool session_table::drop(const std::string& name) {
+  sync::lock_guard<sync::mutex> lk(m_);
+  return sessions_.erase(name) > 0;
+}
+
+void session_table::note_solve(const std::string& name, uint64_t version,
+                               const std::vector<int64_t>& dist) {
+  std::shared_ptr<entry> e;
+  try {
+    e = find_const(name);
+  } catch (const session_error&) {
+    return;  // dropped/evicted while the solve ran — nothing to improve
+  }
+  sync::lock_guard<sync::mutex> lk(e->head_m);
+  if (!e->head->is_graph) return;
+  if (dist.size() != e->head->n) return;
+  if (e->labels && version <= e->labels_version) return;  // stale solve
+  if (version == e->head->version) {
+    // Labels are exact for the head: restart the insertion accumulator.
+    e->labels = std::make_shared<const std::vector<int64_t>>(dist);
+    e->labels_version = version;
+    e->inserted_since = nullptr;
+  } else if (e->labels && e->labels_version <= version) {
+    // Labels for an older pinned version. Accept only when the existing
+    // accumulator already covers labels_version -> head: it is then a
+    // superset of version -> head, and superset seeds are harmless
+    // (re-relaxing an edge already in g is a no-op). No invalidating delta
+    // intervened, else labels would be null or newer.
+    e->labels = std::make_shared<const std::vector<int64_t>>(dist);
+    e->labels_version = version;
+  }
+}
+
+size_t session_table::size() const {
+  sync::lock_guard<sync::mutex> lk(m_);
+  return sessions_.size();
+}
+
+uint64_t session_table::evictions() const {
+  sync::lock_guard<sync::mutex> lk(m_);
+  return evictions_;
+}
+
+std::vector<session_desc> session_table::list() const {
+  std::vector<std::shared_ptr<entry>> es;
+  {
+    sync::lock_guard<sync::mutex> lk(m_);
+    es.reserve(sessions_.size());
+    for (const auto& [name, e] : sessions_) es.push_back(e);
+  }
+  std::vector<session_desc> out;
+  out.reserve(es.size());
+  for (const auto& e : es) out.push_back(describe_entry(*e));
+  return out;
+}
+
+}  // namespace pp::serve

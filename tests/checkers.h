@@ -43,9 +43,14 @@ inline bool sssp_distances_equal(std::span<const int64_t> got, std::span<const i
 // (and, for SSSP, the reference run's distances). `why` receives a
 // human-readable reason on failure. Works for any solver of the four
 // relaxed families; other payload types fail with "no structural checker".
-inline bool structurally_valid(const std::string& solver, const pp::problem_input& input,
+// Session snapshots validate against their materialized base instance.
+inline bool structurally_valid(const std::string& solver, const pp::problem_input& input_raw,
                                const pp::solver_value& got, const pp::solver_value& reference,
                                std::string* why) {
+  const pp::problem_input& input =
+      std::holds_alternative<pp::snapshot_input>(input_raw)
+          ? *std::get<pp::snapshot_input>(input_raw).base
+          : input_raw;
   std::ostringstream err;
   bool ok = false;
   if (const auto* r = std::get_if<pp::mis_result>(&got)) {

@@ -27,6 +27,15 @@ And the PR-9 observability surface:
      with the traffic this test just sent; --metrics-port serves the same
      text over raw HTTP GET /metrics (200, text/plain) and 404s any other
      path; bad --metrics-port values exit 2 like every other flag.
+
+And the PR-10 stateful sessions:
+  7. create/delta/solve/drop round-trip: each verb answers a "session"
+     descriptor (name/problem/version/fingerprint/elems/hints); a delta
+     changes the fingerprint, an edge removal drops the hint flag, a
+     repeat solve of one version hits the result cache, and every
+     malformed verb/row answers an error envelope instead of killing the
+     stream; --max-sessions validates like every count flag and bounds
+     the table with LRU eviction.
 """
 import json
 import random
@@ -287,5 +296,69 @@ finally:
             proc.wait(timeout=30)
         except subprocess.TimeoutExpired:
             proc.kill()
+
+# ---- 7. stateful sessions ----------------------------------------------------
+# create / delta / solve / drop over one stdin connection. Interactive
+# exchange again: reading each response before sending the next request
+# guarantees the daemon's note_solve (label feedback) has run, so the
+# hint flags below are deterministic.
+for flags in (["--max-sessions", "0"], ["--max-sessions", "-2"],
+              ["--max-sessions", "banana"]):
+    rc, out, err = run(flags)
+    check(rc == 2, f"{' '.join(flags)} rejected with exit 2 (got {rc})")
+
+SOLVE = {"session": "solve", "name": "g", "solver": "sssp/incremental", "seed": 11}
+resp = interactive_session(["--seed", str(BASE_SEED)], [
+    {"session": "create", "name": "g", "problem": "sssp", "n": 2000, "seed": 5},
+    SOLVE,                                                          # v0, executes
+    {"session": "delta", "name": "g", "add_edges": [[1, 2, 1], [3, 4, 2]]},
+    SOLVE,                                                          # v1, executes
+    SOLVE,                                                          # v1 repeat, cached
+    {"session": "delta", "name": "g", "remove_edges": [[1, 2]]},    # invalidates hints
+    {"session": "drop", "name": "g"},
+    SOLVE,                                                          # unknown session now
+    {"session": "delta", "name": "g", "add_edges": [[1, 2]]},       # wrong row width
+    {"session": "frobnicate", "name": "g"},
+    {"session": "drop", "name": "never-created"},
+])
+cr, s0, d1, s1, s2, d2, dr, e_gone, e_width, e_verb, dr2 = resp
+check(cr["ok"] and cr["session"]["version"] == 0 and cr["session"]["problem"] == "sssp"
+      and cr["session"]["hints"] is False and cr["session"]["elems"] > 0,
+      f"create answers the version-0 descriptor ({cr})")
+fp0 = cr["session"]["fingerprint"]
+check(isinstance(fp0, str) and len(fp0) > 0, f"create reports a fingerprint ({fp0!r})")
+check(s0["ok"] and s0["cached"] is False and s0["result"]["status"] == "ok"
+      and s0["session"]["version"] == 0 and s0["session"]["fingerprint"] == fp0,
+      f"solve pins and reports the version it solved ({s0.get('session')})")
+check(d1["ok"] and d1["session"]["version"] == 1 and d1["session"]["fingerprint"] != fp0
+      and d1["session"]["hints"] is True,
+      f"delta installs v1 with a new fingerprint and live hints ({d1.get('session')})")
+check(s1["ok"] and s1["cached"] is False and s1["session"]["version"] == 1
+      and s1["session"]["hints"] is True, f"v1 solve executes with hints ({s1.get('session')})")
+check(s2["ok"] and s2["cached"] is True and s2["result"] == s1["result"],
+      f"repeat solve of the same version hits the result cache ({s2.get('cached')})")
+check(d2["ok"] and d2["session"]["version"] == 2 and d2["session"]["hints"] is False,
+      f"edge removal invalidates incremental hints ({d2.get('session')})")
+check(dr["ok"] and dr["session"] == {"name": "g", "dropped": True}, f"drop acks ({dr})")
+check(not e_gone["ok"] and "g" in e_gone["error"], f"solve after drop errors ({e_gone})")
+check(not e_width["ok"] and "3" in e_width["error"],
+      f"malformed add_edges row rejected ({e_width})")
+check(not e_verb["ok"] and "create/delta/solve/drop" in e_verb["error"],
+      f"unknown session verb lists the vocabulary ({e_verb})")
+check(dr2["ok"] and dr2["session"]["dropped"] is False,
+      f"dropping an unknown session acks dropped:false ({dr2})")
+
+# LRU eviction: a 1-slot table forgets the older session when a second is
+# created; the newer one keeps working.
+a, b, sa, sb = interactive_session(
+    ["--seed", str(BASE_SEED), "--max-sessions", "1"], [
+        {"session": "create", "name": "a", "n": 500, "seed": 1},
+        {"session": "create", "name": "b", "n": 500, "seed": 2},
+        {"session": "solve", "name": "a", "solver": "sssp/dijkstra", "seed": 3},
+        {"session": "solve", "name": "b", "solver": "sssp/dijkstra", "seed": 3},
+    ])
+check(a["ok"] and b["ok"], "both creates accepted under --max-sessions 1")
+check(not sa["ok"] and "a" in sa["error"], f"LRU evicted session 'a' ({sa})")
+check(sb["ok"] and sb["result"]["status"] == "ok", f"session 'b' survived eviction ({sb})")
 
 print("ALL PASS")

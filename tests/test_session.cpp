@@ -1,0 +1,452 @@
+// Tests for the versioned session store (src/serve/session.h): snapshot
+// isolation while deltas land, XOR-incremental fingerprints that address
+// content (not history), LRU eviction, engine cache/dedup behavior across
+// versions, and exactness of sssp/incremental against the from-scratch
+// reference. The reader/writer tests are the TSan half of the store's
+// contract: readers pinning version v never block the writer installing
+// v+1 (ci runs this binary under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checkers.h"
+#include "core/registry.h"
+#include "serve/engine.h"
+#include "serve/session.h"
+
+namespace {
+
+using pp::problem_input;
+using pp::registry;
+using pp::snapshot_input;
+using pp::sssp_input;
+using pp::vertex_t;
+using pp::wgraph;
+using pp::serve::session_delta;
+using pp::serve::session_desc;
+using pp::serve::session_error;
+using pp::serve::session_table;
+
+// A tiny graph with known edges: a directed path 0->1->...->(n-1) of
+// weight-10 edges, so tests can add/remove/reweight edges they fully
+// control and predict every distance by hand.
+problem_input path_graph(vertex_t n) {
+  std::vector<wgraph::wedge> edges;
+  for (vertex_t u = 0; u + 1 < n; ++u) edges.push_back({u, u + 1, 10});
+  sssp_input in;
+  in.g = wgraph::from_edges(n, std::move(edges));
+  in.source = 0;
+  return in;
+}
+
+const sssp_input& base_of(const snapshot_input& s) {
+  return std::get<sssp_input>(*s.base);
+}
+
+std::vector<int64_t> dijkstra_dist(const problem_input& in) {
+  auto r = registry::run("sssp/dijkstra", in);
+  return std::get<pp::sssp_result>(r.value).dist;
+}
+
+TEST(Session, CreateDescribeDrop) {
+  session_table tab(0);
+  session_desc d = tab.create("p", path_graph(8));
+  EXPECT_EQ(d.name, "p");
+  EXPECT_EQ(d.problem, "sssp");
+  EXPECT_EQ(d.version, 0u);
+  EXPECT_EQ(d.elems, 7u);  // 7 path edges
+  EXPECT_FALSE(d.hints);
+  EXPECT_EQ(tab.describe("p").fp, d.fp);
+  EXPECT_EQ(tab.size(), 1u);
+
+  EXPECT_THROW(tab.create("p", path_graph(8)), session_error);  // duplicate
+  EXPECT_THROW(tab.describe("nope"), session_error);
+  EXPECT_TRUE(tab.drop("p"));
+  EXPECT_FALSE(tab.drop("p"));
+  EXPECT_EQ(tab.size(), 0u);
+}
+
+TEST(Session, FingerprintAddressesContentNotHistory) {
+  // Reaching the same edge set by different delta histories must yield the
+  // same fingerprint — that is what lets the engine cache hit across
+  // sessions and across versions.
+  session_table tab(0);
+  session_desc a0 = tab.create("a", path_graph(16));
+  session_desc b0 = tab.create("b", path_graph(16));
+  EXPECT_EQ(a0.fp, b0.fp);
+
+  // a: two single-edge deltas; b: one combined delta (other order).
+  session_delta d1, d2, both;
+  d1.add_edges = {{2, 9, 3}};
+  d2.add_edges = {{5, 11, 4}};
+  both.add_edges = {{5, 11, 4}, {2, 9, 3}};
+  tab.apply("a", d1);
+  session_desc a2 = tab.apply("a", d2);
+  session_desc b1 = tab.apply("b", both);
+  EXPECT_EQ(a2.fp, b1.fp);
+  EXPECT_EQ(a2.version, 2u);
+  EXPECT_EQ(b1.version, 1u);
+
+  // Add-then-remove restores the ORIGINAL fingerprint exactly (XOR in,
+  // XOR out), and a reweight round-trip does too.
+  session_delta rm;
+  rm.remove_edges = {{2, 9}, {5, 11}};
+  EXPECT_EQ(tab.apply("a", rm).fp, a0.fp);
+
+  session_delta rew, back;
+  rew.add_edges = {{0, 1, 99}};  // reweight an existing path edge
+  back.add_edges = {{0, 1, 10}};
+  session_desc rew_d = tab.apply("b", rew);
+  EXPECT_NE(rew_d.fp, b1.fp);
+  session_delta rm2;
+  rm2.remove_edges = {{2, 9}, {5, 11}};
+  tab.apply("b", back);
+  EXPECT_EQ(tab.apply("b", rm2).fp, b0.fp);
+}
+
+TEST(Session, SequenceSessionsMatchDirectCreation) {
+  // Appending to a short sequence fingerprint-equals creating the long one.
+  session_table tab(0);
+  pp::sequence_input small;
+  small.a = {3, 1, 4, 1, 5};
+  pp::sequence_input big;
+  big.a = {3, 1, 4, 1, 5, 9, 2, 6};
+  tab.create("grown", small);
+  session_delta app;
+  app.append = {9, 2, 6};
+  session_desc g1 = tab.apply("grown", app);
+  session_desc d0 = tab.create("direct", big);
+  EXPECT_EQ(g1.fp, d0.fp);
+  EXPECT_EQ(g1.elems, 8u);
+
+  // update round-trips the fingerprint too.
+  session_delta up, undo;
+  up.update = {{1, 77}};
+  undo.update = {{1, 1}};
+  session_desc u1 = tab.apply("grown", up);
+  EXPECT_NE(u1.fp, d0.fp);
+  EXPECT_EQ(tab.apply("grown", undo).fp, d0.fp);
+
+  // Weighted LIS instances are not sessionable (deltas would need a weight
+  // channel the protocol does not carry).
+  pp::sequence_input weighted;
+  weighted.a = {1, 2};
+  weighted.weights = {3, 4};
+  EXPECT_THROW(tab.create("w", weighted), session_error);
+}
+
+TEST(Session, DeltaValidation) {
+  session_table tab(0);
+  tab.create("p", path_graph(8));
+  session_delta bad;
+  bad.add_edges = {{7, 8, 1}};  // endpoint 8 out of range
+  EXPECT_THROW(tab.apply("p", bad), session_error);
+  session_delta bad2;
+  bad2.source = 8;
+  EXPECT_THROW(tab.apply("p", bad2), session_error);
+  session_delta seq_on_graph;
+  seq_on_graph.append = {1};
+  EXPECT_THROW(tab.apply("p", seq_on_graph), session_error);
+  EXPECT_THROW(tab.apply("nope", session_delta{}), session_error);
+
+  pp::sequence_input s;
+  s.a = {1, 2, 3};
+  tab.create("s", s);
+  session_delta oob;
+  oob.update = {{3, 9}};  // index 3 out of range
+  EXPECT_THROW(tab.apply("s", oob), session_error);
+  session_delta graph_on_seq;
+  graph_on_seq.add_edges = {{0, 1, 1}};
+  EXPECT_THROW(tab.apply("s", graph_on_seq), session_error);
+
+  // Failed deltas install nothing.
+  EXPECT_EQ(tab.describe("p").version, 0u);
+  EXPECT_EQ(tab.describe("s").version, 0u);
+}
+
+TEST(Session, SnapshotIsolationAcrossDeltas) {
+  // A pinned snapshot is immutable: deltas installed after the pin change
+  // neither its materialized graph nor its solve result.
+  session_table tab(0);
+  tab.create("p", path_graph(6));
+  snapshot_input v0 = tab.snapshot("p");
+  std::vector<int64_t> before = dijkstra_dist(v0);
+  EXPECT_EQ(before[5], 50);  // five weight-10 hops
+
+  session_delta shortcut;
+  shortcut.add_edges = {{0, 5, 7}};
+  tab.apply("p", shortcut);
+
+  snapshot_input v1 = tab.snapshot("p");
+  EXPECT_EQ(base_of(v0).g.num_edges(), 5u);  // unchanged by the delta
+  EXPECT_EQ(base_of(v1).g.num_edges(), 6u);
+  EXPECT_TRUE(pp_check::sssp_distances_equal(dijkstra_dist(v0), before));
+  EXPECT_EQ(dijkstra_dist(v1)[5], 7);
+
+  // Dropping the session does not invalidate outstanding pins.
+  tab.drop("p");
+  EXPECT_TRUE(pp_check::sssp_distances_equal(dijkstra_dist(v0), before));
+}
+
+TEST(Session, IncrementalSolveIsExact) {
+  // sssp/incremental on a snapshot carrying (prior distances, inserted
+  // edges) must be BIT-IDENTICAL to the from-scratch reference — the
+  // acceptance criterion the serving_sessions bench also enforces.
+  session_table tab(0);
+  tab.create("g", registry::instance().make_input("sssp", 4000, 11));
+  snapshot_input v0 = tab.snapshot("g");
+  EXPECT_EQ(v0.prior_dist, nullptr);  // no solve yet
+
+  std::vector<int64_t> d0 = dijkstra_dist(v0);
+  tab.note_solve("g", 0, d0);
+  EXPECT_TRUE(tab.describe("g").hints);
+
+  // Insertions (and weight decreases) keep the labels usable.
+  session_delta ins;
+  for (vertex_t i = 0; i < 16; ++i)
+    ins.add_edges.push_back({i * 7 % 4000, (i * 131 + 9) % 4000, 1 + i % 3});
+  tab.apply("g", ins);
+  snapshot_input v1 = tab.snapshot("g");
+  ASSERT_NE(v1.prior_dist, nullptr);
+  ASSERT_NE(v1.inserted_edges, nullptr);
+  EXPECT_FALSE(v1.inserted_edges->empty());
+
+  auto inc = registry::run("sssp/incremental", v1);
+  auto ref = registry::run("sssp/dijkstra", v1);
+  const auto& inc_d = std::get<pp::sssp_result>(inc.value).dist;
+  const auto& ref_d = std::get<pp::sssp_result>(ref.value).dist;
+  EXPECT_TRUE(pp_check::sssp_distances_equal(inc_d, ref_d));
+
+  // Structural checker agrees (the same one test_relaxed trusts).
+  std::string why;
+  EXPECT_TRUE(pp_check::structurally_valid("sssp/incremental", problem_input{v1}, inc.value,
+                                           ref.value, &why))
+      << why;
+
+  // Removals invalidate the labels: the next snapshot is hint-free and
+  // sssp/incremental falls back to from-scratch — still exact.
+  tab.note_solve("g", v1.version, ref_d);
+  session_delta rm;
+  rm.remove_edges = {{ins.add_edges[0].u, ins.add_edges[0].v}};
+  tab.apply("g", rm);
+  EXPECT_FALSE(tab.describe("g").hints);
+  snapshot_input v2 = tab.snapshot("g");
+  EXPECT_EQ(v2.prior_dist, nullptr);
+  auto inc2 = registry::run("sssp/incremental", v2);
+  auto ref2 = registry::run("sssp/dijkstra", v2);
+  EXPECT_TRUE(pp_check::sssp_distances_equal(std::get<pp::sssp_result>(inc2.value).dist,
+                                             std::get<pp::sssp_result>(ref2.value).dist));
+}
+
+TEST(Session, StaleSolveNeverClobbersNewerLabels) {
+  session_table tab(0);
+  tab.create("g", path_graph(8));
+  std::vector<int64_t> d0 = dijkstra_dist(tab.snapshot("g"));
+  session_delta shortcut;
+  shortcut.add_edges = {{0, 7, 1}};
+  tab.apply("g", shortcut);
+  std::vector<int64_t> d1 = dijkstra_dist(tab.snapshot("g"));
+  tab.note_solve("g", 1, d1);
+  EXPECT_TRUE(tab.describe("g").hints);
+
+  // A straggler solve of version 0 lands late: it must not replace the
+  // version-1 labels (its distances are stale upper bounds at best).
+  tab.note_solve("g", 0, d0);
+  snapshot_input s = tab.snapshot("g");
+  ASSERT_NE(s.prior_dist, nullptr);
+  EXPECT_TRUE(pp_check::sssp_distances_equal(*s.prior_dist, d1));
+
+  // Feeding a dropped/unknown session is a silent no-op, not an error —
+  // eviction racing a solve completion is an expected shape.
+  tab.drop("g");
+  tab.note_solve("g", 1, d1);
+}
+
+TEST(Session, LruEvictionBoundsTheTable) {
+  session_table tab(2);
+  tab.create("a", path_graph(4));
+  tab.create("b", path_graph(4));
+  EXPECT_EQ(tab.size(), 2u);
+  EXPECT_EQ(tab.evictions(), 0u);
+
+  // Touch "a" (snapshot counts as use), then create "c": "b" is the LRU
+  // entry and must be the one evicted.
+  snapshot_input pin = tab.snapshot("a");
+  tab.create("c", path_graph(5));
+  EXPECT_EQ(tab.size(), 2u);
+  EXPECT_EQ(tab.evictions(), 1u);
+  EXPECT_NO_THROW(tab.describe("a"));
+  EXPECT_NO_THROW(tab.describe("c"));
+  EXPECT_THROW(tab.describe("b"), session_error);
+
+  // The pinned snapshot outlives even its own session's eviction.
+  tab.create("d", path_graph(6));
+  tab.create("e", path_graph(7));
+  EXPECT_THROW(tab.describe("a"), session_error);
+  EXPECT_EQ(dijkstra_dist(pin)[3], 30);
+}
+
+TEST(Session, ReadersNeverBlockTheWriter) {
+  // The store's locking contract: readers pin version v (and HOLD those
+  // pins) while the writer installs v+1..v+K. If snapshot() readers could
+  // block apply(), this test would deadlock; under TSan it additionally
+  // proves the head handoff is race-free.
+  session_table tab(0);
+  tab.create("g", registry::instance().make_input("sssp", 2000, 3));
+
+  constexpr int kDeltas = 40;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> max_seen{0};
+  std::vector<std::thread> readers;
+  std::vector<std::vector<snapshot_input>> held(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        snapshot_input s = tab.snapshot("g");
+        // Versions a single reader observes are monotone.
+        EXPECT_GE(s.version, last);
+        last = s.version;
+        // Keep every ~8th pin alive for the whole test: live readers of
+        // OLD versions while the writer keeps installing new ones.
+        if (held[t].size() < 16 && s.version % 8 == static_cast<uint64_t>(t) % 8)
+          held[t].push_back(std::move(s));
+        uint64_t prev = max_seen.load(std::memory_order_relaxed);
+        while (last > prev &&
+               !max_seen.compare_exchange_weak(prev, last, std::memory_order_relaxed)) {
+        }
+      }
+    });
+  }
+
+  session_delta d;
+  for (int i = 0; i < kDeltas; ++i) {
+    d.add_edges = {{static_cast<vertex_t>(i % 2000),
+                    static_cast<vertex_t>((i * 37 + 5) % 2000), 2}};
+    session_desc desc = tab.apply("g", d);
+    EXPECT_EQ(desc.version, static_cast<uint64_t>(i + 1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(tab.describe("g").version, static_cast<uint64_t>(kDeltas));
+  EXPECT_LE(max_seen.load(), static_cast<uint64_t>(kDeltas));
+  // The held pins still materialize their own (old) versions.
+  for (auto& hs : held)
+    for (auto& s : hs) EXPECT_EQ(base_of(s).g.num_vertices(), 2000u);
+}
+
+TEST(Session, ConcurrentSolveAndDeltaAgree) {
+  // Solves racing deltas read consistent snapshots: whatever version a
+  // solve pinned, its result equals a quiet re-solve of that same pin.
+  session_table tab(0);
+  tab.create("g", path_graph(64));
+  std::vector<std::pair<snapshot_input, std::vector<int64_t>>> solved;
+  std::mutex solved_m;
+  std::thread solver([&] {
+    for (int i = 0; i < 12; ++i) {
+      snapshot_input s = tab.snapshot("g");
+      std::vector<int64_t> d = dijkstra_dist(s);
+      std::lock_guard<std::mutex> lk(solved_m);
+      solved.emplace_back(std::move(s), std::move(d));
+    }
+  });
+  for (int i = 0; i < 24; ++i) {
+    session_delta d;
+    d.add_edges = {{static_cast<vertex_t>(i % 63), static_cast<vertex_t>(63 - i % 63), 3}};
+    tab.apply("g", d);
+  }
+  solver.join();
+  for (auto& [snap, dist] : solved)
+    EXPECT_TRUE(pp_check::sssp_distances_equal(dijkstra_dist(snap), dist));
+}
+
+TEST(Session, EngineCacheHitsAcrossVersionsByContent) {
+  // The engine's result cache keys on (solver, input fp, seed). Session
+  // versions with the SAME content (an empty delta) must hit; a content
+  // change must miss. In-flight dedup gets the same addressing for free.
+  pp::serve::engine_options opt;
+  opt.max_inflight_runs = 1;
+  opt.workers_per_run = 1;
+  opt.batch_window = std::chrono::microseconds(0);
+  opt.ctx = pp::context{}.with_backend(pp::backend_kind::native).with_workers(1).with_seed(5);
+  pp::serve::engine eng(opt);
+  session_table tab(0);
+  tab.create("g", registry::instance().make_input("sssp", 1000, 7));
+
+  auto solve = [&](const char* solver) {
+    pp::serve::request req;
+    req.solver = solver;
+    req.input = tab.snapshot("g");
+    req.seed = 42;
+    req.session = "g";
+    return eng.submit(std::move(req)).get();
+  };
+
+  pp::serve::response r0 = solve("sssp/dijkstra");
+  ASSERT_TRUE(r0.ok()) << r0.error;
+  EXPECT_FALSE(r0.cached);
+
+  pp::serve::response r1 = solve("sssp/dijkstra");  // same version
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  EXPECT_TRUE(r1.cached);
+
+  tab.apply("g", session_delta{});  // v1, identical content
+  EXPECT_EQ(tab.describe("g").version, 1u);
+  pp::serve::response r2 = solve("sssp/dijkstra");
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_TRUE(r2.cached) << "empty delta changed the fingerprint";
+  EXPECT_EQ(pp::score_of(r2.result.value), pp::score_of(r0.result.value));
+
+  session_delta d;
+  d.add_edges = {{1, 2, 1}};
+  tab.apply("g", d);  // v2, new content
+  pp::serve::response r3 = solve("sssp/dijkstra");
+  ASSERT_TRUE(r3.ok()) << r3.error;
+  EXPECT_FALSE(r3.cached) << "content change must not be answered from cache";
+  eng.stop();
+}
+
+TEST(Session, EngineSessionAffinityCompletesInOrderTraffic) {
+  // Interleaved session solves and deltas through the engine: every solve
+  // completes ok and scores match a quiet re-solve of the version each one
+  // pinned (affinity keeps per-session admission order; correctness here
+  // is that nothing deadlocks, drops, or mixes inputs).
+  pp::serve::engine_options opt;
+  opt.max_inflight_runs = 2;
+  opt.workers_per_run = 1;
+  opt.batch_window = std::chrono::microseconds(50);
+  opt.ctx = pp::context{}.with_backend(pp::backend_kind::native).with_workers(1).with_seed(9);
+  pp::serve::engine eng(opt);
+  session_table tab(0);
+  tab.create("s", path_graph(128));
+
+  std::vector<std::pair<snapshot_input, std::future<pp::serve::response>>> futs;
+  for (int i = 0; i < 10; ++i) {
+    snapshot_input snap = tab.snapshot("s");
+    pp::serve::request req;
+    req.solver = "sssp/dijkstra";
+    req.input = snap;
+    req.seed = 100 + i;
+    req.session = "s";
+    futs.emplace_back(std::move(snap), eng.submit(std::move(req)));
+    session_delta d;
+    d.add_edges = {{0, static_cast<vertex_t>(i + 2), static_cast<uint32_t>(i + 1)}};
+    tab.apply("s", d);
+  }
+  for (auto& [snap, fut] : futs) {
+    pp::serve::response r = fut.get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(pp_check::sssp_distances_equal(
+        std::get<pp::sssp_result>(r.result.value).dist, dijkstra_dist(snap)));
+  }
+  eng.stop();
+}
+
+}  // namespace

@@ -89,6 +89,7 @@ TEST(Trace, RingBufferWraparound) {
   tracer_guard g;
   pp::trace::set_enabled(true);
   constexpr size_t kExtra = 100;
+  uint64_t overwrites_before = pp::metrics::catalog::get().trace_ring_overwrites.value();
   // A fresh thread = a fresh ring: emit capacity + kExtra instants and
   // check the newest capacity survive (oldest kExtra overwritten).
   std::thread t([] {
@@ -105,6 +106,10 @@ TEST(Trace, RingBufferWraparound) {
   }
   EXPECT_EQ(min_i, kExtra);  // 0..kExtra-1 were overwritten
   EXPECT_EQ(max_i, pp::trace::kRingCapacity + kExtra - 1);
+  // Every overwritten record bumps pp_trace_ring_overwrites_total — the
+  // lossiness signal an operator reads before trusting a ring dump.
+  EXPECT_EQ(pp::metrics::catalog::get().trace_ring_overwrites.value() - overwrites_before,
+            static_cast<uint64_t>(kExtra));
 }
 
 TEST(Trace, DisabledTracerAllocatesNothing) {
@@ -302,6 +307,7 @@ TEST(Metrics, PrometheusRenderGolden) {
       "pp_serve_batch_size",
       "pp_serve_latency_interactive_usec",
       "pp_serve_latency_batch_usec",
+      "pp_trace_ring_overwrites_total",
       "pp_pool_leases_total",
       "pp_mq_popped_total",
       "pp_mq_wasted_total",

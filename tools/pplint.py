@@ -52,6 +52,16 @@ codebase depends on for correctness and reproducibility:
                        untested is invisible twice over; this rule makes
                        adding a metric force both the golden and the
                        catalog forward in the same commit.
+  session-coverage     Every `*/incremental` solver must (a) declare its
+                       from-scratch exactness oracle in its registry
+                       description ("from-scratch ref: <solver>", itself
+                       registered — incremental results are bit-compared
+                       against it, never approximate), and (b) be
+                       exercised by tests/test_session.cpp. ppserve must
+                       handle all four session verbs (create/delta/solve/
+                       drop), and to_json(session_desc) must emit every
+                       session_desc field, so a session response can never
+                       silently drop part of the descriptor.
 
 Usage:
   tools/pplint.py [--root DIR]     lint the tree (exit 1 on violations)
@@ -540,6 +550,127 @@ def check_metrics_coverage(metrics_path, consumer_paths):
 
 
 # --------------------------------------------------------------------------
+# Rule: session-coverage
+
+SESSION_VERBS = ("create", "delta", "solve", "drop")
+# session_desc members whose JSON spelling differs from the field name.
+SESSION_FIELD_KEYS = {"fp": "fingerprint"}
+
+
+def check_session_coverage(registry_path, test_path, serve_path, session_h_path,
+                           session_cpp_path):
+    """Every registered `*/incremental` solver must declare a registered
+    from-scratch reference in its description and appear in
+    tests/test_session.cpp; ppserve must dispatch every session verb; and
+    to_json(session_desc) must emit every descriptor field."""
+    out = []
+    with open(registry_path, encoding="utf-8") as f:
+        raw = f.read()
+    regs = re.findall(
+        r'add_solver\s*\(\s*\{\s*"([^"]+)"\s*,\s*"([^"]+)"\s*,\s*((?:"[^"]*"\s*)+)', raw
+    )
+    regs = [(n, "".join(re.findall(r'"([^"]*)"', d))) for n, _p, d in regs]
+    names = {n for n, _d in regs}
+    incremental = [(n, d) for n, d in regs if n.endswith("/incremental")]
+    for name, desc in incremental:
+        line = 1
+        m = re.search(r'add_solver\s*\(\s*\{\s*"%s"' % re.escape(name), raw)
+        if m:
+            line = line_of(raw, m.start())
+        rm = re.search(r"from-scratch ref:\s*([\w/]+)", desc)
+        if not rm:
+            out.append(
+                Violation(
+                    registry_path,
+                    line,
+                    "session-coverage",
+                    "incremental solver '%s' does not declare its exactness "
+                    "oracle ('from-scratch ref: <solver>' in the description)" % name,
+                )
+            )
+        elif rm.group(1) not in names:
+            out.append(
+                Violation(
+                    registry_path,
+                    line,
+                    "session-coverage",
+                    "incremental solver '%s' declares 'from-scratch ref: %s' "
+                    "but no such solver is registered" % (name, rm.group(1)),
+                )
+            )
+    if incremental:
+        if test_path is None or not os.path.exists(test_path):
+            out.append(
+                Violation(
+                    registry_path,
+                    1,
+                    "session-coverage",
+                    "incremental solvers are registered but "
+                    "tests/test_session.cpp does not exist",
+                )
+            )
+        else:
+            with open(test_path, encoding="utf-8") as f:
+                test_raw = f.read()
+            for name, _d in incremental:
+                if name not in test_raw:
+                    out.append(
+                        Violation(
+                            test_path,
+                            1,
+                            "session-coverage",
+                            "incremental solver '%s' is not exercised by %s"
+                            % (name, os.path.basename(test_path)),
+                        )
+                    )
+    if serve_path is not None and os.path.exists(serve_path):
+        with open(serve_path, encoding="utf-8") as f:
+            serve_raw = f.read()
+        for verb in SESSION_VERBS:
+            if not re.search(r'verb\s*==\s*"%s"' % verb, serve_raw):
+                out.append(
+                    Violation(
+                        serve_path,
+                        1,
+                        "session-coverage",
+                        "ppserve does not dispatch the session verb '%s' "
+                        "(want all of create/delta/solve/drop)" % verb,
+                    )
+                )
+    if session_h_path is not None and os.path.exists(session_h_path):
+        with open(session_h_path, encoding="utf-8") as f:
+            htext = strip_comments_and_strings(f.read())
+        with open(session_cpp_path, encoding="utf-8") as f:
+            impl_raw = f.read()
+        fields = struct_fields(htext, "session_desc")
+        if not fields:
+            out.append(
+                Violation(
+                    session_h_path,
+                    1,
+                    "session-coverage",
+                    "struct session_desc not found or has no fields (parser broken?)",
+                )
+            )
+        else:
+            emitted = set(re.findall(r'w\s*\.\s*(?:member|key)\s*\(\s*"([^"]+)"', impl_raw))
+            for field in fields:
+                key = SESSION_FIELD_KEYS.get(field, field)
+                if key not in emitted:
+                    out.append(
+                        Violation(
+                            session_h_path,
+                            1,
+                            "session-coverage",
+                            "session_desc field '%s' (JSON key '%s') is not "
+                            "emitted by to_json in %s"
+                            % (field, key, os.path.basename(session_cpp_path)),
+                        )
+                    )
+    return out
+
+
+# --------------------------------------------------------------------------
 # Driver
 
 JSON_SPEC = [
@@ -578,6 +709,13 @@ def lint_tree(root):
         ]
         violations += check_relaxed_coverage(
             registry, relaxed_impls, os.path.join(root, "tests", "test_relaxed.cpp")
+        )
+        violations += check_session_coverage(
+            registry,
+            os.path.join(root, "tests", "test_session.cpp"),
+            os.path.join(root, "tools", "ppserve.cpp"),
+            os.path.join(root, "src", "serve", "session.h"),
+            os.path.join(root, "src", "serve", "session.cpp"),
         )
     violations += check_json_fields(root, [s for s in JSON_SPEC if os.path.exists(os.path.join(root, s[1]))])
     metrics_cpp = os.path.join(root, "src", "core", "metrics.cpp")
@@ -733,6 +871,78 @@ using problem_input =
 """
 
 
+FIXTURE_SESSION_REGISTRY_BAD = """
+void register_all(registry& r) {
+  r.add_solver({"foo/incremental", "graph", "delta re-solve, oracle unstated"}, fn);
+  r.add_solver({"bar/incremental", "graph", "delta re-solve (from-scratch ref: bar/exact)"}, fn);
+  r.add_solver({"foo/sequential", "graph", "fine"}, fn);
+}
+"""
+
+FIXTURE_SESSION_REGISTRY_GOOD = """
+void register_all(registry& r) {
+  r.add_solver({"baz/incremental", "graph", "delta re-solve (from-scratch ref: baz/sequential)"}, fn);
+  r.add_solver({"baz/sequential", "graph", "the exactness oracle"}, fn);
+}
+"""
+
+FIXTURE_SESSION_TEST_GOOD = """
+TEST(Session, IncrementalIsExact) { run("baz/incremental"); }
+"""
+
+FIXTURE_SESSION_SERVE_BAD = """
+void feed(const std::string& verb) {
+  if (verb == "create") { }
+  if (verb == "delta") { }
+  if (verb == "solve") { }
+  // "drop" forgotten: sessions could never be released over the wire
+}
+"""
+
+FIXTURE_SESSION_SERVE_GOOD = """
+void feed(const std::string& verb) {
+  if (verb == "create") { }
+  if (verb == "delta") { }
+  if (verb == "solve") { }
+  if (verb == "drop") { }
+}
+"""
+
+FIXTURE_SESSION_DESC_H = """
+struct session_desc {
+  std::string name;
+  uint64_t version = 0;
+  fingerprint fp{};
+  bool hints = false;  // forgotten by the bad to_json below
+};
+"""
+
+FIXTURE_SESSION_DESC_IMPL_BAD = """
+std::string to_json(const session_desc& d) {
+  json::writer w;
+  w.begin_object();
+  w.member("name", d.name);
+  w.member("version", d.version);
+  w.member("fingerprint", d.fp.hex());
+  w.end_object();
+  return w.str();
+}
+"""
+
+FIXTURE_SESSION_DESC_IMPL_GOOD = """
+std::string to_json(const session_desc& d) {
+  json::writer w;
+  w.begin_object();
+  w.member("name", d.name);
+  w.member("version", d.version);
+  w.member("fingerprint", d.fp.hex());
+  w.member("hints", d.hints);
+  w.end_object();
+  return w.str();
+}
+"""
+
+
 FIXTURE_METRICS_REG = """
 catalog::catalog()
     : serve_submitted("pp_serve_submitted_total", "Requests admitted"),
@@ -840,6 +1050,43 @@ def self_test():
         expect(
             len(v) == 0,
             "relaxed-coverage quiet on declared+registered ref, cancel_point, tested solver",
+            failures,
+        )
+
+        sreg_bad = os.path.join(td, "session_registry_bad.cpp")
+        sreg_good = os.path.join(td, "session_registry_good.cpp")
+        stest = os.path.join(td, "test_session.cpp")
+        sserve_bad = os.path.join(td, "ppserve_bad.cpp")
+        sserve_good = os.path.join(td, "ppserve_good.cpp")
+        sdesc_h = os.path.join(td, "session.h")
+        sdesc_bad = os.path.join(td, "session_bad.cpp")
+        sdesc_good = os.path.join(td, "session_good.cpp")
+        for p, content in (
+            (sreg_bad, FIXTURE_SESSION_REGISTRY_BAD),
+            (sreg_good, FIXTURE_SESSION_REGISTRY_GOOD),
+            (stest, FIXTURE_SESSION_TEST_GOOD),
+            (sserve_bad, FIXTURE_SESSION_SERVE_BAD),
+            (sserve_good, FIXTURE_SESSION_SERVE_GOOD),
+            (sdesc_h, FIXTURE_SESSION_DESC_H),
+            (sdesc_bad, FIXTURE_SESSION_DESC_IMPL_BAD),
+            (sdesc_good, FIXTURE_SESSION_DESC_IMPL_GOOD),
+        ):
+            with open(p, "w") as f:
+                f.write(content)
+        v = check_session_coverage(sreg_bad, stest, sserve_bad, sdesc_h, sdesc_bad)
+        expect(
+            any("does not declare its exactness oracle" in x.msg for x in v)
+            and any("no such solver is registered" in x.msg for x in v)
+            and any("not exercised by" in x.msg for x in v)
+            and any("session verb 'drop'" in x.msg for x in v)
+            and any("field 'hints'" in x.msg for x in v),
+            "session-coverage fires on missing ref, bad ref, untested solver, missing verb, dropped desc field",
+            failures,
+        )
+        v = check_session_coverage(sreg_good, stest, sserve_good, sdesc_h, sdesc_good)
+        expect(
+            len(v) == 0,
+            "session-coverage quiet on declared+registered ref, tested solver, full verbs and desc",
             failures,
         )
 

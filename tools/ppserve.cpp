@@ -42,6 +42,31 @@
 // its result cache (a repeat (solver, input-fingerprint, seed) triple —
 // zero pool leases), false when the solve actually executed.
 //
+// Stateful sessions (src/serve/session.h): a "session" member selects a
+// verb instead of the one-shot solver path. All verbs answer with a
+// "session" object ({name, problem, version, fingerprint, elems, hints} —
+// pp::serve::to_json(session_desc); drop adds "dropped"):
+//
+//   {"session":"create","name":"g","problem":"sssp","n":200000,"seed":7}
+//       build the problem's default instance and register it at version 0
+//       ("sssp" and "lis" instances are session-able)
+//   {"session":"delta","name":"g","add_edges":[[u,v,w],...],
+//    "remove_edges":[[u,v],...],"source":S,"append":[x,...],
+//    "update":[[i,x],...]}
+//       apply one atomic delta, installing version v+1 (graph fields on
+//       sssp sessions, append/update on lis sessions). In-flight solves
+//       keep reading the version they pinned.
+//   {"session":"solve","name":"g","solver":"sssp/incremental", ...}
+//       solve the CURRENT version (optional seed / deadline_ms / priority
+//       as usual). Runs with engine session affinity: solves on one
+//       session never reorder, and an ok sssp solve feeds its distances
+//       back as incremental labels for later sssp/incremental solves.
+//   {"session":"drop","name":"g"}
+//       forget the instance ("dropped": false when the name was unknown)
+//
+// --max-sessions N (default 64) bounds the table: creating instance N+1
+// evicts the least-recently-used one.
+//
 // Modes:
 //   default       serve stdin, write stdout, exit at EOF
 //   --port P      additionally accept TCP connections on P (NDJSON, one
@@ -69,10 +94,13 @@
 // --relax-k K (k-MultiQueue relaxation factor for relaxed-paradigm solvers),
 // --cache-entries N (result-cache capacity, default 256), --cache-off
 // (disable the result cache; in-flight dedup stays on).
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -92,6 +120,7 @@
 #include "core/registry.h"
 #include "core/trace.h"
 #include "serve/engine.h"
+#include "serve/session.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PPSERVE_HAS_TCP 1
@@ -116,6 +145,8 @@ struct daemon_options {
   // hundreds of GB and get the daemon OOM-killed instead of answering
   // "ok": false.
   size_t max_n = 10'000'000;
+  // Session-table bound: creating instance N+1 evicts the LRU one.
+  size_t max_sessions = 64;
 };
 
 size_t g_max_n = 10'000'000;
@@ -208,6 +239,7 @@ int usage(const char* argv0) {
                "          [--batch-window-us U] [--max-batch K] [--queue N]\n"
                "          [--backend native|openmp|sequential] [--seed S] [--max-n N]\n"
                "          [--relax-k K] [--cache-entries N] [--cache-off]\n"
+               "          [--max-sessions N]\n"
                "reads newline-delimited JSON requests on stdin (and TCP port P),\n"
                "writes one JSON response line per request.\n",
                argv0);
@@ -220,7 +252,7 @@ int usage(const char* argv0) {
 // while an interactive client still gets each response as soon as its
 // batch lands (not only at the next input line).
 struct session {
-  explicit session(pp::serve::engine& eng) : eng_(eng) {}
+  session(pp::serve::engine& eng, pp::serve::session_table& tab) : eng_(eng), tab_(tab) {}
 
   // Parse + submit. Any problem with the line itself becomes an
   // immediately-queued error entry; well-formed requests queue a future
@@ -261,6 +293,14 @@ struct session {
         return;
       }
       enqueue_metrics(id);
+      return;
+    }
+    if (const pp::json::value* v = doc.find("session")) {
+      if (!v->is_string()) {
+        enqueue_error(id, "request \"session\" must be a verb string (create/delta/solve/drop)");
+        return;
+      }
+      handle_session(std::move(id), v->as_string(), doc);
       return;
     }
     const pp::json::value* solver = doc.find("solver");
@@ -340,7 +380,227 @@ struct session {
       enqueue_error(id, e.what());
       return;
     }
-    push({id, eng_.submit(std::move(req)), {}});
+    entry e;
+    e.id = std::move(id);
+    e.fut = eng_.submit(std::move(req));
+    push(std::move(e));
+  }
+
+  // Session verbs (create / delta / solve / drop) against the daemon-wide
+  // session_table. create/delta/drop answer immediately (the table is the
+  // source of truth, no solve happens); solve pins the current version as
+  // a snapshot and rides the normal engine path with session affinity.
+  void handle_session(std::string id, const std::string& verb, const pp::json::value& doc) {
+    const pp::json::value* nv = doc.find("name");
+    if (nv == nullptr || !nv->is_string() || nv->as_string().empty()) {
+      enqueue_error(id, "session requests need a non-empty string \"name\" member");
+      return;
+    }
+    const std::string name = nv->as_string();
+    auto integral = [](const pp::json::value& v) {
+      if (const double* d = std::get_if<double>(&v.raw()))
+        return std::isfinite(*d) && *d == std::floor(*d);
+      return v.is_number();
+    };
+    // [lo, hi]-checked integer member; writes an error entry and returns
+    // false on a wrong type or out-of-range value.
+    auto want_int = [&](const pp::json::value& v, const char* what, int64_t lo, int64_t hi,
+                        int64_t& out) {
+      if (!v.is_number() || !integral(v) || v.as_int64() < lo || v.as_int64() > hi) {
+        enqueue_error(id, std::string("session ") + what + " must be an integer in [" +
+                              std::to_string(lo) + ", " + std::to_string(hi) + "]");
+        return false;
+      }
+      out = v.as_int64();
+      return true;
+    };
+    try {
+      if (verb == "create") {
+        std::string problem = "sssp";
+        if (const pp::json::value* v = doc.find("problem")) {
+          if (!v->is_string()) {
+            enqueue_error(id, "session \"problem\" must be a string");
+            return;
+          }
+          problem = v->as_string();
+        }
+        int64_t n = 20'000;
+        if (const pp::json::value* v = doc.find("n")) {
+          if (!want_int(*v, "\"n\"", 1, static_cast<int64_t>(std::min<uint64_t>(
+                                            g_max_n, std::numeric_limits<int64_t>::max())),
+                        n))
+            return;
+        }
+        uint64_t seed = eng_.reserve_anonymous_seed();
+        if (const pp::json::value* v = doc.find("seed")) {
+          if (!v->is_number() || !integral(*v)) {
+            enqueue_error(id, "session \"seed\" must be an integer");
+            return;
+          }
+          seed = v->as_uint64();
+        }
+        pp::problem_input base =
+            pp::registry::instance().make_input(problem, static_cast<size_t>(n), seed);
+        enqueue_session(std::move(id), pp::serve::to_json(tab_.create(name, std::move(base))));
+        return;
+      }
+      if (verb == "delta") {
+        pp::serve::session_delta d;
+        // Triples [u, v, w] / pairs [u, v] / pairs [i, value]; every slot
+        // type- and range-checked here so the table only ever validates
+        // semantics (endpoint bounds, kind mismatches).
+        auto rows = [&](const pp::json::value& v, const char* what, size_t width,
+                        std::vector<std::array<int64_t, 3>>& out) {
+          if (!v.is_array()) {
+            enqueue_error(id, std::string("session ") + what + " must be an array of arrays");
+            return false;
+          }
+          for (const auto& row : v.as_array()) {
+            if (!row.is_array() || row.as_array().size() != width) {
+              enqueue_error(id, std::string("session ") + what + " entries must be arrays of " +
+                                    std::to_string(width) + " integers");
+              return false;
+            }
+            std::array<int64_t, 3> r{0, 0, 0};
+            for (size_t j = 0; j < width; ++j) {
+              const pp::json::value& cell = row.as_array()[j];
+              if (!cell.is_number() || !integral(cell)) {
+                enqueue_error(id, std::string("session ") + what + " entries must hold integers");
+                return false;
+              }
+              r[j] = cell.as_int64();
+            }
+            out.push_back(r);
+          }
+          return true;
+        };
+        constexpr int64_t kVertMax = std::numeric_limits<pp::vertex_t>::max();
+        constexpr int64_t kWeightMax = std::numeric_limits<uint32_t>::max();
+        std::vector<std::array<int64_t, 3>> raw;
+        if (const pp::json::value* v = doc.find("add_edges")) {
+          if (!rows(*v, "\"add_edges\"", 3, raw)) return;
+          for (const auto& r : raw) {
+            if (r[0] < 0 || r[0] > kVertMax || r[1] < 0 || r[1] > kVertMax || r[2] < 1 ||
+                r[2] > kWeightMax) {
+              enqueue_error(id, "session \"add_edges\" entries must be [u, v, w] with w >= 1");
+              return;
+            }
+            d.add_edges.push_back({static_cast<pp::vertex_t>(r[0]),
+                                   static_cast<pp::vertex_t>(r[1]),
+                                   static_cast<uint32_t>(r[2])});
+          }
+        }
+        raw.clear();
+        if (const pp::json::value* v = doc.find("remove_edges")) {
+          if (!rows(*v, "\"remove_edges\"", 2, raw)) return;
+          for (const auto& r : raw) {
+            if (r[0] < 0 || r[0] > kVertMax || r[1] < 0 || r[1] > kVertMax) {
+              enqueue_error(id, "session \"remove_edges\" entries must be [u, v]");
+              return;
+            }
+            d.remove_edges.push_back(
+                {static_cast<pp::vertex_t>(r[0]), static_cast<pp::vertex_t>(r[1])});
+          }
+        }
+        if (const pp::json::value* v = doc.find("source")) {
+          int64_t s = 0;
+          if (!want_int(*v, "\"source\"", 0, kVertMax, s)) return;
+          d.source = static_cast<pp::vertex_t>(s);
+        }
+        if (const pp::json::value* v = doc.find("append")) {
+          if (!v->is_array()) {
+            enqueue_error(id, "session \"append\" must be an array of integers");
+            return;
+          }
+          for (const auto& cell : v->as_array()) {
+            if (!cell.is_number() || !integral(cell)) {
+              enqueue_error(id, "session \"append\" must be an array of integers");
+              return;
+            }
+            d.append.push_back(cell.as_int64());
+          }
+        }
+        raw.clear();
+        if (const pp::json::value* v = doc.find("update")) {
+          if (!rows(*v, "\"update\"", 2, raw)) return;
+          for (const auto& r : raw) {
+            if (r[0] < 0) {
+              enqueue_error(id, "session \"update\" entries must be [index, value]");
+              return;
+            }
+            d.update.push_back({static_cast<size_t>(r[0]), r[1]});
+          }
+        }
+        enqueue_session(std::move(id), pp::serve::to_json(tab_.apply(name, d)));
+        return;
+      }
+      if (verb == "solve") {
+        const pp::json::value* solver = doc.find("solver");
+        if (solver == nullptr || !solver->is_string()) {
+          enqueue_error(id, "session solve needs a string \"solver\" member");
+          return;
+        }
+        pp::serve::request req;
+        req.solver = solver->as_string();
+        req.session = name;
+        if (const pp::json::value* v = doc.find("seed")) {
+          if (!v->is_number() || !integral(*v)) {
+            enqueue_error(id, "session \"seed\" must be an integer");
+            return;
+          }
+          req.seed = v->as_uint64();
+        }
+        if (const pp::json::value* v = doc.find("deadline_ms")) {
+          constexpr int64_t kMaxDeadlineMs = 86'400'000;
+          int64_t ms = 0;
+          if (!want_int(*v, "\"deadline_ms\"", 1, kMaxDeadlineMs, ms)) return;
+          req.deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+        }
+        if (const pp::json::value* v = doc.find("priority")) {
+          auto p = v->is_string() ? pp::serve::parse_priority(v->as_string()) : std::nullopt;
+          if (!p) {
+            enqueue_error(id, "session \"priority\" must be \"interactive\" or \"batch\"");
+            return;
+          }
+          req.prio = *p;
+        }
+        if (pp::registry::instance().info(req.solver) == nullptr) {
+          enqueue_error(id, "unknown solver '" + req.solver + "'");
+          return;
+        }
+        if (!req.seed) req.seed = eng_.reserve_anonymous_seed();
+        // Pin the head: the solve reads THIS version even if deltas land
+        // while it is queued. The desc it answers with is the same pinned
+        // version (describe() after snapshot() could already be ahead).
+        pp::snapshot_input snap = tab_.snapshot(name);
+        pp::serve::session_desc desc = tab_.describe(name);
+        desc.version = snap.version;
+        desc.fp = snap.fp;
+        desc.hints = snap.prior_dist != nullptr;
+        entry e;
+        e.id = std::move(id);
+        e.session_name = name;
+        e.session_version = snap.version;
+        e.session_json = pp::serve::to_json(desc);
+        req.input = std::move(snap);
+        e.fut = eng_.submit(std::move(req));
+        push(std::move(e));
+        return;
+      }
+      if (verb == "drop") {
+        bool dropped = tab_.drop(name);
+        pp::json::writer w;
+        w.begin_object();
+        w.member("name", name);
+        w.member("dropped", dropped);
+        w.end_object();
+        enqueue_session(std::move(id), w.str());
+        return;
+      }
+      enqueue_error(id, "unknown session verb '" + verb + "' (want create/delta/solve/drop)");
+    } catch (const std::exception& e) {
+      enqueue_error(id, e.what());
+    }
   }
 
   // Writer side: pop entries in request order, wait, print. Runs until
@@ -369,9 +629,20 @@ struct session {
           // when the engine's result cache answered without a solve.
           w.member("cached", r.cached);
           w.key("result").value_raw(pp::to_json(r.result));
+          if (!e.session_name.empty()) {
+            // Feed exact distances back as incremental labels for the
+            // version this solve pinned (the table ignores stale feeds,
+            // and a drop/eviction mid-flight is a no-op inside).
+            if (const auto* sr = std::get_if<pp::sssp_result>(&r.result.value))
+              tab_.note_solve(e.session_name, e.session_version, sr->dist);
+          }
         } else {
           w.member("error", r.error);
         }
+        if (!e.session_json.empty()) w.key("session").value_raw(e.session_json);
+      } else if (!e.session_json.empty()) {
+        w.member("ok", true);
+        w.key("session").value_raw(e.session_json);
       } else if (!e.stats.empty()) {
         w.member("ok", true);
         w.key("stats").value_raw(e.stats);
@@ -406,6 +677,11 @@ struct session {
     std::string stats;                     // raw JSON: engine_stats snapshot
     std::string metrics;                   // Prometheus text: metrics snapshot
     std::string err;
+    // Session verbs: the response's "session" member (raw JSON). With a
+    // valid fut this rides a solve; alone it IS the response payload.
+    std::string session_json;
+    std::string session_name;      // non-empty => feed distances back on ok
+    uint64_t session_version = 0;  // the version the solve pinned
   };
 
   void push(entry e) {
@@ -440,7 +716,17 @@ struct session {
     push(std::move(e));
   }
 
+  // An immediately-answered session verb (create/delta/drop): the table
+  // already did the work, the entry just carries the response payload.
+  void enqueue_session(std::string id, std::string json) {
+    entry e;
+    e.id = std::move(id);
+    e.session_json = std::move(json);
+    push(std::move(e));
+  }
+
   pp::serve::engine& eng_;
+  pp::serve::session_table& tab_;
   pp::sync::mutex m_;
   std::condition_variable_any cv_;
   std::deque<entry> out_ PP_GUARDED_BY(m_);
@@ -448,8 +734,8 @@ struct session {
   uint64_t index_ = 0;  // reader-thread only; never shared
 };
 
-void serve_stream(pp::serve::engine& eng, FILE* in, FILE* out) {
-  session s(eng);
+void serve_stream(pp::serve::engine& eng, pp::serve::session_table& tab, FILE* in, FILE* out) {
+  session s(eng, tab);
   std::thread writer([&] { s.writer_loop(out); });
   std::string line;
   int c;
@@ -524,7 +810,7 @@ void serve_metrics_http(int port) {
   ::close(fd);
 }
 
-void serve_tcp(pp::serve::engine& eng, int port) {
+void serve_tcp(pp::serve::engine& eng, pp::serve::session_table& tab, int port) {
   // A client that disconnects before reading its response must not kill
   // the daemon: writes to its closed socket should fail with EPIPE, not
   // raise SIGPIPE (default disposition: terminate the whole process).
@@ -561,7 +847,7 @@ void serve_tcp(pp::serve::engine& eng, int port) {
       std::perror("ppserve: accept");
       break;
     }
-    std::thread([&eng, client] {
+    std::thread([&eng, &tab, client] {
       // Every fd owns exactly one owner on every path: a failed fdopen
       // must not strand `client` (or the dup) open, or fd exhaustion
       // becomes permanent instead of transient.
@@ -577,7 +863,7 @@ void serve_tcp(pp::serve::engine& eng, int port) {
         std::fclose(in);
         return;
       }
-      serve_stream(eng, in, out);
+      serve_stream(eng, tab, in, out);
       std::fclose(in);
       std::fclose(out);
     }).detach();
@@ -643,6 +929,11 @@ int main(int argc, char** argv) {
           parse_int(argv[0], "--cache-entries", need("--cache-entries"), 1, 100'000'000));
     } else if (std::strcmp(argv[i], "--cache-off") == 0) {
       opt.eng.cache_entries = 0;  // dedup of in-flight duplicates stays on
+    } else if (std::strcmp(argv[i], "--max-sessions") == 0) {
+      // Minimum 1: a session-less daemon is the default behavior already,
+      // and 0 would mean "every create immediately evicts itself".
+      opt.max_sessions = static_cast<size_t>(
+          parse_int(argv[0], "--max-sessions", need("--max-sessions"), 1, 1'000'000));
     } else if (std::strcmp(argv[i], "--max-n") == 0) {
       opt.max_n = static_cast<size_t>(parse_int(argv[0], "--max-n", need("--max-n"), 1,
                                                 std::numeric_limits<long long>::max()));
@@ -673,10 +964,11 @@ int main(int argc, char** argv) {
     pp::trace::set_enabled(true);
   }
   pp::serve::engine eng(opt.eng);
+  pp::serve::session_table tab(opt.max_sessions);
 
 #if PPSERVE_HAS_TCP
   std::thread tcp;
-  if (opt.port >= 0) tcp = std::thread([&] { serve_tcp(eng, opt.port); });
+  if (opt.port >= 0) tcp = std::thread([&] { serve_tcp(eng, tab, opt.port); });
   // Detached: the scrape endpoint reads process-wide metrics only, and the
   // daemon must still exit at stdin EOF when --port was not given.
   if (opt.metrics_port >= 0)
@@ -688,7 +980,7 @@ int main(int argc, char** argv) {
   }
 #endif
 
-  serve_stream(eng, stdin, stdout);
+  serve_stream(eng, tab, stdin, stdout);
 
 #if PPSERVE_HAS_TCP
   if (tcp.joinable()) {
